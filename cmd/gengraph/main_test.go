@@ -1,0 +1,76 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nucleus/internal/graph"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "facebook") {
+		t.Fatalf("missing registry entries: %q", sb.String())
+	}
+}
+
+func TestRunGenerators(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"-gen", "gnm", "-n", "50", "-m", "100"},
+		{"-gen", "ba", "-n", "50", "-k", "3"},
+		{"-gen", "rmat", "-scale", "7", "-ef", "4"},
+		{"-gen", "ws", "-n", "50", "-k", "3", "-p", "0.1"},
+		{"-gen", "plc", "-n", "50", "-k", "3", "-p", "0.5"},
+		{"-gen", "communities", "-communities", "3", "-size", "10", "-p", "0.5", "-inter", "10"},
+	}
+	for i, args := range cases {
+		out := filepath.Join(dir, args[1]+".txt")
+		var sb strings.Builder
+		if err := run(append(args, "-out", out), &sb); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		g, err := graph.LoadEdgeList(out)
+		if err != nil {
+			t.Fatalf("case %d: reload: %v", i, err)
+		}
+		if g.M() == 0 {
+			t.Fatalf("case %d: empty graph", i)
+		}
+	}
+}
+
+func TestRunDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fb.txt")
+	var sb strings.Builder
+	if err := run([]string{"-dataset", "fb", "-out", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadEdgeList(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1600 {
+		t.Fatalf("fb analogue n = %d", g.N())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-out", "/tmp/x.txt"},
+		{"-dataset", "nope", "-out", "/tmp/x.txt"},
+		{"-gen", "nope", "-out", "/tmp/x.txt"},
+		{"-gen", "gnm", "-out", "/nonexistent-dir/x.txt", "-n", "5", "-m", "4"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("no error for %v", args)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nucleus/internal/graph"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	g := graph.Figure2()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := g.SaveEdgeList(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCore(t *testing.T) {
+	path := writeTestGraph(t)
+	var sb strings.Builder
+	if err := run([]string{"-graph", path, "-dec", "core", "-alg", "snd"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "n=6 m=6") {
+		t.Fatalf("missing graph line: %q", out)
+	}
+	if !strings.Contains(out, "converged in 2 iterations") {
+		t.Fatalf("missing convergence line: %q", out)
+	}
+	if !strings.Contains(out, "1: 3") || !strings.Contains(out, "2: 3") {
+		t.Fatalf("missing histogram: %q", out)
+	}
+}
+
+func TestRunAllDecompositionsAndAlgorithms(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, dec := range []string{"core", "truss", "34"} {
+		for _, alg := range []string{"peel", "snd", "and"} {
+			var sb strings.Builder
+			if err := run([]string{"-graph", path, "-dec", dec, "-alg", alg}, &sb); err != nil {
+				t.Fatalf("%s/%s: %v", dec, alg, err)
+			}
+		}
+	}
+}
+
+func TestRunHierarchy(t *testing.T) {
+	path := writeTestGraph(t)
+	var sb strings.Builder
+	if err := run([]string{"-graph", path, "-hierarchy"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "hierarchy: 2 nuclei") {
+		t.Fatalf("missing hierarchy: %q", sb.String())
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	path := writeTestGraph(t)
+	var sb strings.Builder
+	if err := run([]string{"-graph", path, "-dot"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph nuclei {") {
+		t.Fatalf("missing DOT: %q", sb.String())
+	}
+}
+
+func TestRunGenericRS(t *testing.T) {
+	path := writeTestGraph(t)
+	var sb strings.Builder
+	if err := run([]string{"-graph", path, "-r", "1", "-s", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "generic (1,3)") {
+		t.Fatalf("missing generic output: %q", sb.String())
+	}
+	// Hierarchy not supported for generic.
+	if err := run([]string{"-graph", path, "-r", "1", "-s", "3", "-hierarchy"}, &sb); err == nil {
+		t.Fatal("expected error for generic hierarchy")
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	path := writeTestGraph(t)
+	var sb strings.Builder
+	if err := run([]string{"-graph", path, "-alg", "snd", "-max-sweeps", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "stopped after 1 sweeps") {
+		t.Fatalf("missing budget line: %q", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestGraph(t)
+	cases := [][]string{
+		{},
+		{"-graph", "/does/not/exist"},
+		{"-graph", path, "-alg", "bogus"},
+		{"-graph", path, "-dec", "bogus"},
+		{"-bogus-flag"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("no error for %v", args)
+		}
+	}
+	// Suppress flag usage noise in test output.
+	_ = os.Stderr
+}

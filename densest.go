@@ -1,0 +1,24 @@
+package nucleus
+
+import (
+	"nucleus/internal/densest"
+)
+
+// DenseSubgraph describes a dense subgraph found by the densest-subgraph
+// helpers.
+type DenseSubgraph = densest.Result
+
+// DensestSubgraphApprox returns Charikar's greedy 2-approximation of the
+// densest subgraph (maximum average degree), computed from the k-core
+// peeling order: the best suffix of the peeling sequence.
+func DensestSubgraphApprox(g *Graph) *DenseSubgraph { return densest.Approx(g) }
+
+// MaxCoreSubgraph returns the maximum-k core as a dense subgraph; also a
+// 2-approximation of the densest subgraph.
+func MaxCoreSubgraph(g *Graph) *DenseSubgraph { return densest.MaxCore(g) }
+
+// MeasureDensity computes edge count, average degree and edge density of
+// the subgraph induced by the given vertices.
+func MeasureDensity(g *Graph, vertices []uint32) *DenseSubgraph {
+	return densest.Measure(g, vertices)
+}

@@ -1,0 +1,43 @@
+// Approximation trade-off: the local algorithms expose intermediate τ
+// indices that approximate the exact decomposition — something the peeling
+// process cannot do, because peeling reveals the densest regions only at
+// the very end. This example sweeps the iteration budget and reports
+// quality versus time for the k-truss decomposition.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"nucleus"
+)
+
+func main() {
+	g := nucleus.RMAT(13, 8, 0.57, 0.19, 0.19, 11)
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.N(), g.M())
+
+	t0 := time.Now()
+	exact := nucleus.Decompose(g, nucleus.KTruss, nucleus.Options{Algorithm: nucleus.Peel})
+	peelTime := time.Since(t0)
+	fmt.Printf("exact peeling: %v (no useful intermediate state)\n\n", peelTime.Round(time.Millisecond))
+
+	fmt.Printf("%-8s %12s %12s %12s\n", "sweeps", "time", "kendall-tau", "exact-frac")
+	for _, budget := range []int{1, 2, 3, 5, 8, 12, 0} {
+		t0 = time.Now()
+		res := nucleus.Decompose(g, nucleus.KTruss, nucleus.Options{
+			Algorithm: nucleus.SND,
+			MaxSweeps: budget,
+		})
+		elapsed := time.Since(t0)
+		label := fmt.Sprint(budget)
+		if budget == 0 {
+			label = "full"
+		}
+		fmt.Printf("%-8s %12v %12.4f %12.4f\n", label,
+			elapsed.Round(time.Millisecond),
+			nucleus.KendallTau(res.Kappa, exact.Kappa),
+			nucleus.ExactFraction(res.Kappa, exact.Kappa))
+	}
+	fmt.Println("\nA handful of sweeps already orders the graph almost exactly like the")
+	fmt.Println("exact decomposition (Kendall-Tau ~1), at a fraction of the full runtime.")
+}

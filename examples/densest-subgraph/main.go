@@ -1,0 +1,81 @@
+// Densest subgraph: the paper's introduction motivates dense subgraph
+// discovery (spam link farms, DNA motifs, price-value motifs). This
+// example plants a hidden near-clique in a sparse background and compares
+// what each tool recovers: the global densest-subgraph approximations see
+// only a large diffuse blob, while the nucleus hierarchy pinpoints the
+// planted structure.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nucleus"
+)
+
+func main() {
+	// Sparse background + a hidden 24-vertex near-clique + a decoy: a big
+	// diffuse region whose AVERAGE degree beats the clique's, though its
+	// edge density is tiny. Average-degree objectives chase the decoy;
+	// density-seeking hierarchies should not.
+	rng := rand.New(rand.NewSource(5))
+	var edges [][2]uint32
+	const n, cliqueSize, decoyLo, decoyHi = 3000, 24, 1000, 1500
+	for i := 0; i < 4*n; i++ {
+		u := uint32(rng.Intn(n))
+		v := uint32(rng.Intn(n))
+		edges = append(edges, [2]uint32{u, v})
+	}
+	for u := 0; u < cliqueSize; u++ {
+		for v := u + 1; v < cliqueSize; v++ {
+			if rng.Float64() < 0.9 {
+				edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+			}
+		}
+	}
+	// Decoy: 500 vertices with ~7500 internal edges -> avg degree ~30,
+	// density ~0.06.
+	for i := 0; i < 7500; i++ {
+		u := uint32(decoyLo + rng.Intn(decoyHi-decoyLo))
+		v := uint32(decoyLo + rng.Intn(decoyHi-decoyLo))
+		edges = append(edges, [2]uint32{u, v})
+	}
+	g := nucleus.BuildGraph(n, edges)
+	fmt.Printf("graph: %d vertices, %d edges; hidden %d-vertex near-clique and a diffuse decoy\n\n",
+		g.N(), g.M(), cliqueSize)
+
+	report := func(name string, r *nucleus.DenseSubgraph) {
+		planted := 0
+		for _, v := range r.Vertices {
+			if v < cliqueSize {
+				planted++
+			}
+		}
+		fmt.Printf("%-22s %6d vertices  avg-deg %6.2f  density %.3f  (%d/%d planted)\n",
+			name, len(r.Vertices), r.AverageDegree, r.EdgeDensity, planted, cliqueSize)
+	}
+
+	report("charikar 2-approx", nucleus.DensestSubgraphApprox(g))
+	report("max-core", nucleus.MaxCoreSubgraph(g))
+
+	// The (3,4) nucleus hierarchy: take the densest leaf.
+	res := nucleus.Decompose(g, nucleus.Nucleus34, nucleus.Options{})
+	forest := nucleus.BuildHierarchy(g, nucleus.Nucleus34, res.Kappa)
+	var best *nucleus.DenseSubgraph
+	for _, leaf := range forest.Leaves() {
+		vs := forest.Vertices(leaf)
+		if len(vs) < 5 {
+			continue
+		}
+		r := nucleus.MeasureDensity(g, vs)
+		if best == nil || r.EdgeDensity > best.EdgeDensity {
+			best = r
+		}
+	}
+	if best != nil {
+		report("densest (3,4) nucleus", best)
+	}
+
+	fmt.Println("\nThe average-degree objective prefers a big sparse region; the (3,4)")
+	fmt.Println("nucleus isolates the planted near-clique at near-1.0 density.")
+}

@@ -1,0 +1,60 @@
+// Dynamic maintenance: keep core numbers current while the graph changes,
+// repairing only the affected subcore per edit instead of redecomposing.
+// This complements the paper's query-driven scenario: both exploit the
+// locality of κ indices.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"nucleus"
+)
+
+func main() {
+	base := nucleus.PowerLawCluster(3000, 6, 0.4, 99)
+	g := nucleus.DynamicFromGraph(base)
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.N(), g.M())
+
+	rng := rand.New(rand.NewSource(1))
+	const edits = 2000
+
+	// Apply a stream of random insertions and removals with incremental
+	// repair.
+	t0 := time.Now()
+	var inserted [][2]uint32
+	for i := 0; i < edits; i++ {
+		if len(inserted) > 0 && rng.Intn(2) == 0 {
+			j := rng.Intn(len(inserted))
+			e := inserted[j]
+			g.RemoveEdge(e[0], e[1])
+			inserted[j] = inserted[len(inserted)-1]
+			inserted = inserted[:len(inserted)-1]
+		} else {
+			u := uint32(rng.Intn(g.N()))
+			v := uint32(rng.Intn(g.N()))
+			if g.InsertEdge(u, v) {
+				inserted = append(inserted, [2]uint32{u, v})
+			}
+		}
+	}
+	incTime := time.Since(t0)
+
+	// Compare against one full static recomputation.
+	t0 = time.Now()
+	static := nucleus.Decompose(g.Static(), nucleus.KCore, nucleus.Options{Algorithm: nucleus.Peel})
+	oneShot := time.Since(t0)
+
+	agree := nucleus.ExactFraction(g.CoreNumbers(), static.Kappa)
+	perEdit := incTime / edits
+	fmt.Printf("%d incremental edits: %v total (%v/edit)\n",
+		edits, incTime.Round(time.Millisecond), perEdit.Round(time.Microsecond))
+	fmt.Printf("one full recomputation: %v\n", oneShot.Round(time.Millisecond))
+	fmt.Printf("agreement with from-scratch decomposition: %.2f%%\n", 100*agree)
+	fmt.Printf("\nper-edit repair is %.1fx faster than redecomposing after every edit.\n",
+		float64(oneShot)/float64(perEdit))
+	fmt.Println("(The gap widens on graphs with small subcores; on this power-law graph")
+	fmt.Println("most vertices share one core number, so affected subcores are large —")
+	fmt.Println("the known worst case for subcore-traversal maintenance.)")
+}

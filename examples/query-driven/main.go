@@ -1,0 +1,50 @@
+// Query-driven estimation: estimate the core and truss numbers of a few
+// query vertices/edges without decomposing the whole graph. The local
+// update rule only needs a cell's s-clique co-members, so running it on an
+// h-hop neighborhood of the queries yields upper-bound estimates that
+// tighten as h grows — the paper's query-driven scenario.
+package main
+
+import (
+	"fmt"
+
+	"nucleus"
+)
+
+func main() {
+	g := nucleus.PowerLawCluster(5000, 8, 0.4, 13)
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.N(), g.M())
+
+	// Ground truth for comparison (in a real deployment this is exactly
+	// what we want to avoid computing).
+	exactCore := nucleus.Decompose(g, nucleus.KCore, nucleus.Options{Algorithm: nucleus.Peel})
+
+	queries := []uint32{1, 17, 256, 1024, 4096}
+	fmt.Println("core-number estimates (exact in parentheses):")
+	fmt.Printf("%-6s", "hops")
+	for _, q := range queries {
+		fmt.Printf("  v%-6d", q)
+	}
+	fmt.Printf("%10s\n", "touched")
+	for _, hops := range []int{0, 1, 2, 3} {
+		est := nucleus.EstimateCoreNumbers(g, queries, hops, 0)
+		fmt.Printf("%-6d", hops)
+		for i, q := range queries {
+			fmt.Printf("  %2d (%2d)", est.Tau[i], exactCore.Kappa[q])
+		}
+		fmt.Printf("%9.1f%%\n", 100*float64(est.ActiveCells)/float64(g.N()))
+	}
+
+	// Truss numbers for a few edges.
+	u0, v0 := g.Edge(0)
+	u1, v1 := g.Edge(g.M() / 2)
+	queryEdges := [][2]uint32{{u0, v0}, {u1, v1}}
+	fmt.Println("\ntruss-number estimates:")
+	for _, hops := range []int{1, 2} {
+		est := nucleus.EstimateTrussNumbers(g, queryEdges, hops, 0)
+		fmt.Printf("hops=%d: edge(%d,%d) -> %d, edge(%d,%d) -> %d (%d edges touched)\n",
+			hops, u0, v0, est.Tau[0], u1, v1, est.Tau[1], est.ActiveCells)
+	}
+	fmt.Println("\nEstimates never undershoot the true value and converge to it as the")
+	fmt.Println("neighborhood radius grows, while touching a tiny fraction of the graph.")
+}

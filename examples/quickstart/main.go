@@ -1,0 +1,35 @@
+// Quickstart: generate a small graph, compute its k-core, k-truss and
+// (3,4) nucleus decompositions with the local AND algorithm, and verify
+// against the peeling baseline.
+package main
+
+import (
+	"fmt"
+
+	"nucleus"
+)
+
+func main() {
+	// A triangle-rich power-law graph: 1000 vertices, heavy-tailed degrees.
+	g := nucleus.PowerLawCluster(1000, 6, 0.5, 42)
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.N(), g.M())
+
+	for _, dec := range []nucleus.Decomposition{nucleus.KCore, nucleus.KTruss, nucleus.Nucleus34} {
+		// The local asynchronous algorithm with plateau-skipping
+		// notifications (the paper's fastest variant).
+		local := nucleus.Decompose(g, dec, nucleus.Options{Algorithm: nucleus.AND})
+		// The classic global peeling baseline.
+		exact := nucleus.Decompose(g, dec, nucleus.Options{Algorithm: nucleus.Peel})
+
+		agree := nucleus.ExactFraction(local.Kappa, exact.Kappa)
+		fmt.Printf("%-16v cells=%-7d max-k=%-4d AND-iterations=%-3d agreement=%.0f%%\n",
+			dec, len(local.Kappa), local.MaxKappa, local.Iterations, 100*agree)
+	}
+
+	// Intermediate results are usable approximations: stop after 2 sweeps.
+	exact := nucleus.Decompose(g, nucleus.KTruss, nucleus.Options{Algorithm: nucleus.Peel})
+	approx := nucleus.Decompose(g, nucleus.KTruss, nucleus.Options{Algorithm: nucleus.SND, MaxSweeps: 2})
+	fmt.Printf("\nafter 2 SND sweeps: Kendall-Tau vs exact = %.3f, %.0f%% of truss numbers already exact\n",
+		nucleus.KendallTau(approx.Kappa, exact.Kappa),
+		100*nucleus.ExactFraction(approx.Kappa, exact.Kappa))
+}

@@ -1,0 +1,65 @@
+package cliques
+
+import (
+	"testing"
+
+	"nucleus/internal/graph"
+)
+
+func benchGraph() *graph.Graph {
+	return graph.PlantedCommunities(20, 80, 0.35, 1500, 42)
+}
+
+func BenchmarkCountPerEdge(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountPerEdge(g)
+	}
+}
+
+func BenchmarkTriangleEnumeration(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		total = Count(g)
+	}
+	b.ReportMetric(float64(total), "triangles")
+}
+
+func BenchmarkBuildTriangleIndex(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildTriangleIndex(g)
+	}
+}
+
+func BenchmarkK4DegreePerTriangle(b *testing.B) {
+	g := benchGraph()
+	idx := BuildTriangleIndex(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.K4DegreePerTriangle(g)
+	}
+}
+
+func BenchmarkForEachTriangleOfEdge(b *testing.B) {
+	g := benchGraph()
+	m := g.M()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ForEachTriangleOfEdge(g, int64(i)%m, func(uint32, int64, int64) bool { return true })
+	}
+}
+
+func BenchmarkCountKCliques5(b *testing.B) {
+	g := graph.PlantedCommunities(4, 30, 0.5, 50, 9)
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		total = CountKCliques(g, 5)
+	}
+	b.ReportMetric(float64(total), "5-cliques")
+}

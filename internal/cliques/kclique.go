@@ -1,0 +1,142 @@
+package cliques
+
+import (
+	"nucleus/internal/graph"
+)
+
+// ForEachKClique enumerates every k-clique exactly once (k >= 1), calling fn
+// with the member vertices sorted ascending. The slice passed to fn is
+// reused between calls; copy it if retained. Enumeration recurses over the
+// degeneracy orientation, so it is output-sensitive and practical for the
+// small-to-medium graphs the generic (r,s) machinery targets.
+func ForEachKClique(g *graph.Graph, k int, fn func(members []uint32) bool) {
+	if k < 1 {
+		return
+	}
+	n := g.N()
+	if k == 1 {
+		buf := make([]uint32, 1)
+		for u := 0; u < n; u++ {
+			buf[0] = uint32(u)
+			if !fn(buf) {
+				return
+			}
+		}
+		return
+	}
+	rank, _ := g.DegeneracyOrder()
+	// Oriented adjacency sorted by rank: with candidates kept in rank order,
+	// every later candidate has higher rank than the current pick v, so the
+	// candidates adjacent to v are exactly those in out[v].
+	out := orientedAdjacencyRankSorted(g, rank)
+	clique := make([]uint32, 0, k)
+	stopped := false
+
+	// extend grows the current clique using cand: vertices adjacent (in the
+	// orientation) to every current member.
+	var extend func(cand []uint32)
+	extend = func(cand []uint32) {
+		if stopped {
+			return
+		}
+		if len(clique) == k {
+			sorted := append([]uint32(nil), clique...)
+			insertionSort(sorted)
+			if !fn(sorted) {
+				stopped = true
+			}
+			return
+		}
+		need := k - len(clique)
+		for i := 0; i+need <= len(cand); i++ {
+			v := cand[i]
+			clique = append(clique, v)
+			if need == 1 {
+				sorted := append([]uint32(nil), clique...)
+				insertionSort(sorted)
+				if !fn(sorted) {
+					stopped = true
+				}
+			} else {
+				next := intersectByRank(cand[i+1:], out[v], rank)
+				extend(next)
+			}
+			clique = clique[:len(clique)-1]
+			if stopped {
+				return
+			}
+		}
+	}
+
+	for u := 0; u < n && !stopped; u++ {
+		clique = append(clique[:0], uint32(u))
+		extend(out[u])
+	}
+}
+
+// CountKCliques returns the number of k-cliques.
+func CountKCliques(g *graph.Graph, k int) int64 {
+	var total int64
+	ForEachKClique(g, k, func([]uint32) bool {
+		total++
+		return true
+	})
+	return total
+}
+
+// orientedAdjacencyRankSorted returns, for each vertex, its higher-rank
+// neighbors sorted by rank.
+func orientedAdjacencyRankSorted(g *graph.Graph, rank []int32) [][]uint32 {
+	n := g.N()
+	out := make([][]uint32, n)
+	for u := 0; u < n; u++ {
+		var row []uint32
+		for _, v := range g.Neighbors(uint32(u)) {
+			if rank[v] > rank[u] {
+				row = append(row, v)
+			}
+		}
+		// Sort by rank (insertion sort on rank keys; rows are short).
+		for i := 1; i < len(row); i++ {
+			for j := i; j > 0 && rank[row[j]] < rank[row[j-1]]; j-- {
+				row[j], row[j-1] = row[j-1], row[j]
+			}
+		}
+		out[u] = row
+	}
+	return out
+}
+
+// intersectByRank returns a ∩ b for slices sorted by rank.
+func intersectByRank(a, b []uint32, rank []int32) []uint32 {
+	out := make([]uint32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case rank[a[i]] < rank[b[j]]:
+			i++
+		case rank[a[i]] > rank[b[j]]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func insertionSort(a []uint32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"testing"
+
+	"nucleus/internal/cliques"
+)
+
+func TestRegistryIntegrity(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, d := range All() {
+		if d.Key == "" || d.Name == "" || d.Substitute == "" || d.Gen == nil {
+			t.Errorf("incomplete dataset %q", d.Key)
+		}
+		if seen[d.Key] {
+			t.Errorf("duplicate key %q", d.Key)
+		}
+		seen[d.Key] = true
+		if d.Paper.V == "" || d.Paper.E == "" {
+			t.Errorf("dataset %q missing paper stats", d.Key)
+		}
+	}
+	if len(Keys()) != len(All()) {
+		t.Error("Keys/All mismatch")
+	}
+}
+
+func TestGetAndSmall34(t *testing.T) {
+	if Get("fb") == nil {
+		t.Fatal("fb missing")
+	}
+	if Get("nope") != nil {
+		t.Fatal("found nonexistent dataset")
+	}
+	small := Small34()
+	if len(small) == 0 {
+		t.Fatal("no (3,4)-affordable datasets")
+	}
+	for _, d := range small {
+		if !d.Small34 {
+			t.Errorf("%s not flagged Small34", d.Key)
+		}
+	}
+}
+
+func TestGraphMemoized(t *testing.T) {
+	d := Get("fb")
+	a := d.Graph()
+	b := d.Graph()
+	if a != b {
+		t.Fatal("Graph() not memoized")
+	}
+	if a.N() == 0 || a.M() == 0 {
+		t.Fatal("empty generated graph")
+	}
+}
+
+func TestFacebookAnalogueIsTriangleRich(t *testing.T) {
+	g := Get("fb").Graph()
+	tri := cliques.Count(g)
+	// The facebook stand-in must have a high triangles-per-edge ratio; that
+	// is the structural property the convergence experiments rely on.
+	if float64(tri)/float64(g.M()) < 1.0 {
+		t.Errorf("fb analogue too triangle-poor: %d triangles over %d edges", tri, g.M())
+	}
+}
+
+func TestMeasureMatchesCliquePackage(t *testing.T) {
+	g := Get("fb").Graph()
+	s := Measure(g)
+	if s.V != int64(g.N()) || s.E != g.M() {
+		t.Fatal("measure V/E wrong")
+	}
+	if s.Tri != cliques.Count(g) || s.K4 != cliques.CountK4(g) {
+		t.Fatal("measure Tri/K4 wrong")
+	}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+// TestAllDatasetsGenerate exercises every registry generator and checks
+// basic shape sanity — connectivity of the bulk and non-trivial triangle
+// content where the experiments need it.
+func TestAllDatasetsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates every dataset")
+	}
+	for _, d := range All() {
+		g := d.Graph()
+		if g.N() < 1000 {
+			t.Errorf("%s: only %d vertices", d.Key, g.N())
+		}
+		if g.M() < int64(g.N()) {
+			t.Errorf("%s: too sparse: %d edges for %d vertices", d.Key, g.M(), g.N())
+		}
+		if d.Small34 {
+			tri := cliques.Count(g)
+			if tri == 0 {
+				t.Errorf("%s: flagged for (3,4) but has no triangles", d.Key)
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package densest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nucleus/internal/graph"
+)
+
+func TestApproxPlantedClique(t *testing.T) {
+	// A K20 planted in a sparse random graph: the clique is the densest
+	// subgraph and greedy peeling must find (at least) it.
+	rng := rand.New(rand.NewSource(25))
+	var edges [][2]uint32
+	for u := 0; u < 20; u++ {
+		for v := u + 1; v < 20; v++ {
+			edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		}
+	}
+	for i := 0; i < 400; i++ {
+		u := uint32(rng.Intn(500))
+		v := uint32(rng.Intn(500))
+		edges = append(edges, [2]uint32{u, v})
+	}
+	g := graph.Build(500, edges)
+	res := Approx(g)
+	// The clique's average degree is 19; a sparse G(500,400) region cannot
+	// beat it, so the result must include the clique and average >= 19.
+	if res.AverageDegree < 19 {
+		t.Fatalf("average degree = %v, want >= 19", res.AverageDegree)
+	}
+	inClique := 0
+	for _, v := range res.Vertices {
+		if v < 20 {
+			inClique++
+		}
+	}
+	if inClique != 20 {
+		t.Fatalf("result contains %d of 20 clique vertices", inClique)
+	}
+}
+
+func TestApproxCompleteGraph(t *testing.T) {
+	g := graph.Complete(8)
+	res := Approx(g)
+	if len(res.Vertices) != 8 || res.AverageDegree != 7 || res.EdgeDensity != 1 {
+		t.Fatalf("K8 result = %+v", res)
+	}
+}
+
+func TestApproxEmpty(t *testing.T) {
+	res := Approx(graph.Build(0, nil))
+	if len(res.Vertices) != 0 {
+		t.Fatal("nonempty result on empty graph")
+	}
+	res = Approx(graph.Build(3, nil))
+	if res.AverageDegree != 0 {
+		t.Fatalf("edgeless result = %+v", res)
+	}
+}
+
+// TestApproxNeverWorseThanWhole: the greedy result's average degree is at
+// least the whole graph's (the whole graph is a candidate suffix).
+func TestApproxNeverWorseThanWhole(t *testing.T) {
+	err := quick.Check(func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		m := int(mRaw%150) + 1
+		if maxM := n * (n - 1) / 2; m > maxM {
+			m = maxM
+		}
+		g := graph.GnM(n, m, seed)
+		res := Approx(g)
+		whole := 2 * float64(g.M()) / float64(g.N())
+		return res.AverageDegree >= whole-1e-9
+	}, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(26))})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApproxBeatsBruteForceHalf: 2-approximation guarantee against brute
+// force on tiny graphs.
+func TestApproxBeatsBruteForceHalf(t *testing.T) {
+	err := quick.Check(func(seed int64, mRaw uint8) bool {
+		n := 9
+		m := int(mRaw%30) + 1
+		if maxM := n * (n - 1) / 2; m > maxM {
+			m = maxM
+		}
+		g := graph.GnM(n, m, seed)
+		opt := bruteForceDensest(g)
+		res := Approx(g)
+		return res.AverageDegree >= opt/2-1e-9
+	}, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(27))})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bruteForceDensest(g *graph.Graph) float64 {
+	n := g.N()
+	best := 0.0
+	for mask := 1; mask < 1<<n; mask++ {
+		var vs []uint32
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				vs = append(vs, uint32(v))
+			}
+		}
+		res := Measure(g, vs)
+		if res.AverageDegree > best {
+			best = res.AverageDegree
+		}
+	}
+	return best
+}
+
+func TestMaxCore(t *testing.T) {
+	// K6 attached to a path: max core is exactly the K6.
+	var edges [][2]uint32
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		}
+	}
+	edges = append(edges, [2]uint32{5, 6}, [2]uint32{6, 7})
+	g := graph.Build(8, edges)
+	res := MaxCore(g)
+	if len(res.Vertices) != 6 || res.EdgeDensity != 1 {
+		t.Fatalf("max core = %+v", res)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	g := graph.Complete(5)
+	res := Measure(g, []uint32{4, 0, 2}) // unsorted input
+	if res.Edges != 3 || res.AverageDegree != 2 || res.EdgeDensity != 1 {
+		t.Fatalf("measure = %+v", res)
+	}
+	if res.Vertices[0] != 0 || res.Vertices[2] != 4 {
+		t.Fatal("vertices not sorted")
+	}
+}

@@ -1,0 +1,282 @@
+// Package dynamic maintains a k-core decomposition under edge insertions
+// and removals, using the subcore traversal algorithm of Sarıyüce et al.
+// ("Streaming Algorithms for k-Core Decomposition", VLDB 2013) — the same
+// authors' earlier work that the local-algorithms paper builds on. The key
+// theorem: inserting or removing one edge changes core numbers only inside
+// the affected subcore (the κ=k S-connected region around the edge, for
+// k = min of the endpoint core numbers), and by at most one. The repair is
+// therefore local, complementing the query-driven scenario of the local
+// algorithms paper.
+package dynamic
+
+import (
+	"nucleus/internal/graph"
+	"nucleus/internal/nucleus"
+	"nucleus/internal/peel"
+)
+
+// Graph is a mutable undirected simple graph with maintained core numbers.
+type Graph struct {
+	adj   []map[uint32]struct{}
+	kappa []int32
+	edges int64
+}
+
+// New creates a dynamic graph with n isolated vertices (all κ = 0).
+func New(n int) *Graph {
+	g := &Graph{
+		adj:   make([]map[uint32]struct{}, n),
+		kappa: make([]int32, n),
+	}
+	for i := range g.adj {
+		g.adj[i] = make(map[uint32]struct{})
+	}
+	return g
+}
+
+// FromStatic initializes a dynamic graph from a static one, computing core
+// numbers from scratch.
+func FromStatic(sg *graph.Graph) *Graph {
+	g := New(sg.N())
+	for u := 0; u < sg.N(); u++ {
+		for _, v := range sg.Neighbors(uint32(u)) {
+			if v > uint32(u) {
+				g.addAdj(uint32(u), v)
+			}
+		}
+	}
+	g.kappa = peel.Run(nucleus.NewCore(sg)).Kappa
+	return g
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the edge count.
+func (g *Graph) M() int64 { return g.edges }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u uint32) int { return len(g.adj[u]) }
+
+// HasEdge reports whether {u,v} is present.
+func (g *Graph) HasEdge(u, v uint32) bool {
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// CoreNumbers returns the maintained core numbers (aliased; do not modify).
+func (g *Graph) CoreNumbers() []int32 { return g.kappa }
+
+// CoreNumber returns κ(u).
+func (g *Graph) CoreNumber(u uint32) int32 { return g.kappa[u] }
+
+func (g *Graph) addAdj(u, v uint32) {
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.edges++
+}
+
+func (g *Graph) delAdj(u, v uint32) {
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.edges--
+}
+
+// InsertEdge adds edge {u,v} and repairs the core numbers locally.
+// Returns false if the edge already exists or is a self-loop.
+func (g *Graph) InsertEdge(u, v uint32) bool {
+	if u == v || g.HasEdge(u, v) {
+		return false
+	}
+	g.addAdj(u, v)
+
+	// Only vertices with κ = k (the smaller endpoint value) inside the
+	// subcore around the edge can gain, by at most 1.
+	k := g.kappa[u]
+	if g.kappa[v] < k {
+		k = g.kappa[v]
+	}
+	var roots []uint32
+	if g.kappa[u] == k {
+		roots = append(roots, u)
+	}
+	if g.kappa[v] == k {
+		roots = append(roots, v)
+	}
+	sub := g.subcore(roots, k)
+
+	// Candidate degree within the potential (k+1)-core: neighbors with
+	// κ > k always count; neighbors with κ = k count only while they are
+	// themselves unevicted candidates.
+	cd := make(map[uint32]int32, len(sub))
+	inSub := func(w uint32) bool { _, ok := cd[w]; return ok }
+	for _, x := range sub {
+		cd[x] = 0
+	}
+	for _, x := range sub {
+		c := int32(0)
+		for w := range g.adj[x] {
+			if g.kappa[w] > k || inSub(w) {
+				c++
+			}
+		}
+		cd[x] = c
+	}
+	g.evict(cd, k, +1)
+	return true
+}
+
+// RemoveEdge deletes edge {u,v} and repairs the core numbers locally.
+// Returns false if the edge does not exist.
+func (g *Graph) RemoveEdge(u, v uint32) bool {
+	if u == v || !g.HasEdge(u, v) {
+		return false
+	}
+	g.delAdj(u, v)
+
+	k := g.kappa[u]
+	if g.kappa[v] < k {
+		k = g.kappa[v]
+	}
+	var roots []uint32
+	if g.kappa[u] == k {
+		roots = append(roots, u)
+	}
+	if g.kappa[v] == k {
+		roots = append(roots, v)
+	}
+	sub := g.subcore(roots, k)
+
+	// Current support within the k-core: neighbors with κ >= k.
+	cd := make(map[uint32]int32, len(sub))
+	for _, x := range sub {
+		cd[x] = 0
+	}
+	for _, x := range sub {
+		c := int32(0)
+		for w := range g.adj[x] {
+			if g.kappa[w] >= k {
+				c++
+			}
+		}
+		cd[x] = c
+	}
+	g.evictBelow(cd, k)
+	return true
+}
+
+// subcore returns the vertices with κ = k reachable from the roots through
+// vertices with κ = k.
+func (g *Graph) subcore(roots []uint32, k int32) []uint32 {
+	seen := make(map[uint32]struct{})
+	var stack, out []uint32
+	for _, r := range roots {
+		if g.kappa[r] != k {
+			continue
+		}
+		if _, ok := seen[r]; ok {
+			continue
+		}
+		seen[r] = struct{}{}
+		stack = append(stack, r)
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, x)
+		for w := range g.adj[x] {
+			if g.kappa[w] != k {
+				continue
+			}
+			if _, ok := seen[w]; ok {
+				continue
+			}
+			seen[w] = struct{}{}
+			stack = append(stack, w)
+		}
+	}
+	return out
+}
+
+// evict runs the insertion-side elimination: candidates with cd <= k cannot
+// join the (k+1)-core; they are removed iteratively, decrementing their
+// candidate neighbors. Survivors gain delta.
+func (g *Graph) evict(cd map[uint32]int32, k int32, delta int32) {
+	var queue []uint32
+	evicted := make(map[uint32]struct{})
+	for x, c := range cd {
+		if c <= k {
+			queue = append(queue, x)
+			evicted[x] = struct{}{}
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for w := range g.adj[x] {
+			if _, isCand := cd[w]; !isCand {
+				continue
+			}
+			if _, gone := evicted[w]; gone {
+				continue
+			}
+			cd[w]--
+			if cd[w] <= k {
+				evicted[w] = struct{}{}
+				queue = append(queue, w)
+			}
+		}
+	}
+	for x := range cd {
+		if _, gone := evicted[x]; !gone {
+			g.kappa[x] += delta
+		}
+	}
+}
+
+// evictBelow runs the removal-side elimination: subcore vertices whose
+// support inside the k-core drops below k fall to k-1, cascading.
+func (g *Graph) evictBelow(cd map[uint32]int32, k int32) {
+	if k == 0 {
+		return // κ cannot drop below zero
+	}
+	var queue []uint32
+	dropped := make(map[uint32]struct{})
+	for x, c := range cd {
+		if c < k {
+			queue = append(queue, x)
+			dropped[x] = struct{}{}
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		g.kappa[x] = k - 1
+		for w := range g.adj[x] {
+			if _, isCand := cd[w]; !isCand {
+				continue
+			}
+			if _, gone := dropped[w]; gone {
+				continue
+			}
+			cd[w]--
+			if cd[w] < k {
+				dropped[w] = struct{}{}
+				queue = append(queue, w)
+			}
+		}
+	}
+}
+
+// Static snapshots the current graph as an immutable CSR graph.
+func (g *Graph) Static() *graph.Graph {
+	var edges [][2]uint32
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if v > uint32(u) {
+				edges = append(edges, [2]uint32{uint32(u), v})
+			}
+		}
+	}
+	return graph.Build(len(g.adj), edges)
+}

@@ -1,0 +1,213 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nucleus/internal/graph"
+	"nucleus/internal/nucleus"
+	"nucleus/internal/peel"
+)
+
+// exact recomputes core numbers from scratch via peeling.
+func exact(g *Graph) []int32 {
+	return peel.Run(nucleus.NewCore(g.Static())).Kappa
+}
+
+func assertKappa(t *testing.T, g *Graph, context string) {
+	t.Helper()
+	want := exact(g)
+	got := g.CoreNumbers()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: κ(%d) = %d, want %d (full: got %v want %v)",
+				context, v, got[v], want[v], got, want)
+		}
+	}
+}
+
+func TestInsertSingleEdges(t *testing.T) {
+	g := New(4)
+	g.InsertEdge(0, 1)
+	assertKappa(t, g, "first edge")
+	g.InsertEdge(1, 2)
+	assertKappa(t, g, "path")
+	g.InsertEdge(0, 2)
+	assertKappa(t, g, "triangle")
+	g.InsertEdge(3, 0)
+	g.InsertEdge(3, 1)
+	g.InsertEdge(3, 2)
+	assertKappa(t, g, "K4")
+	if g.CoreNumber(3) != 3 {
+		t.Fatalf("K4 core = %d", g.CoreNumber(3))
+	}
+}
+
+func TestInsertRejectsDuplicatesAndLoops(t *testing.T) {
+	g := New(3)
+	if !g.InsertEdge(0, 1) {
+		t.Fatal("insert failed")
+	}
+	if g.InsertEdge(0, 1) || g.InsertEdge(1, 0) {
+		t.Fatal("duplicate accepted")
+	}
+	if g.InsertEdge(2, 2) {
+		t.Fatal("self-loop accepted")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d", g.M())
+	}
+}
+
+func TestRemoveBasics(t *testing.T) {
+	// Build K4, then dismantle.
+	g := New(4)
+	for u := uint32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			g.InsertEdge(u, v)
+		}
+	}
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("remove failed")
+	}
+	assertKappa(t, g, "K4 minus one edge")
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("double remove accepted")
+	}
+	g.RemoveEdge(2, 3)
+	assertKappa(t, g, "4-cycle")
+	g.RemoveEdge(0, 2)
+	assertKappa(t, g, "path")
+}
+
+func TestInsertRandomSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := New(40)
+	for step := 0; step < 300; step++ {
+		u := uint32(rng.Intn(40))
+		v := uint32(rng.Intn(40))
+		g.InsertEdge(u, v)
+		if step%25 == 0 {
+			assertKappa(t, g, "random insert")
+		}
+	}
+	assertKappa(t, g, "final insert state")
+}
+
+func TestMixedRandomSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	g := New(30)
+	var present [][2]uint32
+	for step := 0; step < 500; step++ {
+		if len(present) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(present))
+			e := present[i]
+			g.RemoveEdge(e[0], e[1])
+			present[i] = present[len(present)-1]
+			present = present[:len(present)-1]
+		} else {
+			u := uint32(rng.Intn(30))
+			v := uint32(rng.Intn(30))
+			if g.InsertEdge(u, v) {
+				present = append(present, [2]uint32{u, v})
+			}
+		}
+		if step%40 == 0 {
+			assertKappa(t, g, "mixed sequence")
+		}
+	}
+	assertKappa(t, g, "final mixed state")
+}
+
+func TestMixedQuick(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 5
+		g := New(n)
+		var present [][2]uint32
+		for step := 0; step < 120; step++ {
+			if len(present) > 0 && rng.Intn(4) == 0 {
+				i := rng.Intn(len(present))
+				e := present[i]
+				g.RemoveEdge(e[0], e[1])
+				present[i] = present[len(present)-1]
+				present = present[:len(present)-1]
+			} else {
+				u := uint32(rng.Intn(n))
+				v := uint32(rng.Intn(n))
+				if g.InsertEdge(u, v) {
+					present = append(present, [2]uint32{u, v})
+				}
+			}
+		}
+		want := exact(g)
+		got := g.CoreNumbers()
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(21))})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromStatic(t *testing.T) {
+	sg := graph.PowerLawCluster(200, 4, 0.5, 67)
+	g := FromStatic(sg)
+	if g.N() != sg.N() || g.M() != sg.M() {
+		t.Fatalf("shape mismatch: (%d,%d) vs (%d,%d)", g.N(), g.M(), sg.N(), sg.M())
+	}
+	assertKappa(t, g, "from static")
+	// Mutate and re-verify.
+	g.InsertEdge(0, 100)
+	g.InsertEdge(1, 101)
+	g.RemoveEdge(0, 100)
+	assertKappa(t, g, "after mutations")
+}
+
+func TestStaticRoundTrip(t *testing.T) {
+	g := New(5)
+	g.InsertEdge(0, 1)
+	g.InsertEdge(1, 2)
+	s := g.Static()
+	if s.N() != 5 || s.M() != 2 {
+		t.Fatalf("static snapshot: n=%d m=%d", s.N(), s.M())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) {
+		t.Fatal("adjacency wrong")
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("degree = %d", g.Degree(1))
+	}
+}
+
+// TestInsertionGrowsCliqueByOne verifies the ≤1 change theorem visibly:
+// closing the last edge of a (k+2)-clique lifts exactly the clique members.
+func TestInsertionGrowsCliqueByOne(t *testing.T) {
+	g := New(6)
+	// K5 missing edge {3,4}.
+	for u := uint32(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			if u == 3 && v == 4 {
+				continue
+			}
+			g.InsertEdge(u, v)
+		}
+	}
+	before := append([]int32(nil), g.CoreNumbers()...)
+	g.InsertEdge(3, 4)
+	after := g.CoreNumbers()
+	for v := 0; v < 5; v++ {
+		if after[v] != before[v]+1 {
+			t.Fatalf("vertex %d: %d -> %d, want +1", v, before[v], after[v])
+		}
+	}
+	if after[5] != 0 {
+		t.Fatal("isolated vertex changed")
+	}
+	assertKappa(t, g, "completed K5")
+}

@@ -1,0 +1,162 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nucleus/internal/graph"
+	"nucleus/internal/localhi"
+	"nucleus/internal/nucleus"
+	"nucleus/internal/peel"
+)
+
+// mutate applies `ins` random insertions and `del` random removals to a
+// copy of g's edge set and returns the new graph plus the realized insert
+// count.
+func mutate(g *graph.Graph, ins, del int, seed int64) (*graph.Graph, int) {
+	rng := rand.New(rand.NewSource(seed))
+	edgeSet := make(map[[2]uint32]struct{})
+	for _, e := range g.Edges() {
+		edgeSet[e] = struct{}{}
+	}
+	// Removals first.
+	all := g.Edges()
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	for i := 0; i < del && i < len(all); i++ {
+		delete(edgeSet, all[i])
+	}
+	inserted := 0
+	n := g.N()
+	for tries := 0; inserted < ins && tries < 20*ins; tries++ {
+		u := uint32(rng.Intn(n))
+		v := uint32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if _, ok := edgeSet[[2]uint32{u, v}]; ok {
+			continue
+		}
+		edgeSet[[2]uint32{u, v}] = struct{}{}
+		inserted++
+	}
+	var edges [][2]uint32
+	for e := range edgeSet {
+		edges = append(edges, e)
+	}
+	return graph.Build(n, edges), inserted
+}
+
+func TestWarmCoreNumbersExact(t *testing.T) {
+	err := quick.Check(func(seed int64, insRaw, delRaw uint8) bool {
+		g := graph.GnM(40, 150, seed)
+		oldKappa := peel.Run(nucleus.NewCore(g)).Kappa
+		newG, ins := mutate(g, int(insRaw%10), int(delRaw%10), seed+1)
+		warm := WarmCoreNumbers(newG, oldKappa, ins)
+		want := peel.Run(nucleus.NewCore(newG)).Kappa
+		for i := range want {
+			if warm.Tau[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(28))})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmTrussNumbersExact(t *testing.T) {
+	err := quick.Check(func(seed int64, insRaw, delRaw uint8) bool {
+		g := graph.GnM(25, 120, seed)
+		oldKappa := peel.Run(nucleus.NewTruss(g)).Kappa
+		newG, ins := mutate(g, int(insRaw%8), int(delRaw%8), seed+1)
+		warm := WarmTrussNumbers(newG, g, oldKappa, ins)
+		want := peel.Run(nucleus.NewTruss(newG)).Kappa
+		for i := range want {
+			if warm.Tau[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(29))})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmCoreGrownGraph(t *testing.T) {
+	g := graph.PowerLawCluster(100, 4, 0.5, 77)
+	oldKappa := peel.Run(nucleus.NewCore(g)).Kappa
+	// Grow: three new vertices attached to existing ones.
+	edges := g.Edges()
+	edges = append(edges,
+		[2]uint32{100, 0}, [2]uint32{100, 1},
+		[2]uint32{101, 2}, [2]uint32{102, 101})
+	newG := graph.Build(103, edges)
+	warm := WarmCoreNumbers(newG, oldKappa, 4)
+	want := peel.Run(nucleus.NewCore(newG)).Kappa
+	for i := range want {
+		if warm.Tau[i] != want[i] {
+			t.Fatalf("vertex %d: warm %d, want %d", i, warm.Tau[i], want[i])
+		}
+	}
+}
+
+// TestWarmStartSavesSweeps: a small batch on a large graph should converge
+// in far fewer sweeps than a cold run.
+func TestWarmStartSavesSweeps(t *testing.T) {
+	g := graph.PowerLawCluster(2000, 5, 0.5, 79)
+	inst := nucleus.NewCore(g)
+	oldKappa := peel.Run(inst).Kappa
+	newG, ins := mutate(g, 5, 5, 81)
+	cold := localhi.And(nucleus.NewCore(newG), localhi.Options{Notification: true})
+	warm := WarmCoreNumbers(newG, oldKappa, ins)
+	if warm.Sweeps > cold.Sweeps {
+		t.Fatalf("warm start slower: %d vs %d sweeps", warm.Sweeps, cold.Sweeps)
+	}
+	if warm.WorkVisits >= cold.WorkVisits {
+		t.Errorf("warm start saved no work: %d vs %d visits", warm.WorkVisits, cold.WorkVisits)
+	}
+}
+
+// TestLemma2ArbitraryStart empirically verifies the generalized Lemma 2
+// that warm starting relies on: AND converges to κ from ANY τ0 >= κ.
+func TestLemma2ArbitraryStart(t *testing.T) {
+	err := quick.Check(func(seed int64, bumpRaw []uint8) bool {
+		g := graph.GnM(30, 120, seed)
+		inst := nucleus.NewCore(g)
+		kappa := peel.Run(inst).Kappa
+		seedTau := make([]int32, len(kappa))
+		for i := range seedTau {
+			bump := int32(0)
+			if len(bumpRaw) > 0 {
+				bump = int32(bumpRaw[i%len(bumpRaw)] % 7)
+			}
+			seedTau[i] = kappa[i] + bump
+		}
+		res := localhi.And(inst, localhi.Options{InitialTau: seedTau, Notification: true})
+		for i := range kappa {
+			if res.Tau[i] != kappa[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(30))})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialTauValidation(t *testing.T) {
+	g := graph.Complete(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	localhi.And(nucleus.NewCore(g), localhi.Options{InitialTau: []int32{1}})
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The experiment drivers are exercised on the cheapest dataset ("fb") to
+// keep the suite fast; cmd/experiments runs the full sweeps.
+
+func TestFig1aConvergenceOutput(t *testing.T) {
+	var sb strings.Builder
+	Fig1aConvergence(&sb, Core, []string{"fb"}, 4)
+	out := sb.String()
+	if !strings.Contains(out, "iter") || !strings.Contains(out, "fb") {
+		t.Fatalf("missing header: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("too few rows: %q", out)
+	}
+	// Kendall-Tau column must be monotone non-decreasing toward 1.
+	var prev float64 = -2
+	for _, line := range lines[2:] {
+		fields := strings.Fields(line)
+		var v float64
+		if _, err := fmt.Sscan(fields[len(fields)-1], &v); err != nil {
+			t.Fatalf("bad row %q: %v", line, err)
+		}
+		if v+1e-9 < prev {
+			t.Fatalf("Kendall-Tau decreased: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	var sb strings.Builder
+	Table3(&sb, []string{"fb"})
+	if !strings.Contains(sb.String(), "facebook") {
+		t.Fatalf("missing dataset row: %q", sb.String())
+	}
+}
+
+func TestTable4Output(t *testing.T) {
+	var sb strings.Builder
+	Table4Iterations(&sb, Core, []string{"fb"})
+	out := sb.String()
+	if !strings.Contains(out, "SND") || !strings.Contains(out, "levels-bound") {
+		t.Fatalf("missing columns: %q", out)
+	}
+}
+
+func TestTable5Output(t *testing.T) {
+	var sb strings.Builder
+	Table5Runtimes(&sb, Core, []string{"fb"})
+	if !strings.Contains(sb.String(), "peel") {
+		t.Fatalf("missing runtimes: %q", sb.String())
+	}
+}
+
+func TestPlateausOutput(t *testing.T) {
+	var sb strings.Builder
+	Plateaus(&sb, Core, "fb", 4)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few trajectory rows: %q", sb.String())
+	}
+	var sb2 strings.Builder
+	PlateauStats(&sb2, Core, []string{"fb"})
+	if !strings.Contains(sb2.String(), "plateau") {
+		t.Fatalf("missing plateau stats: %q", sb2.String())
+	}
+}
+
+func TestBoundOutput(t *testing.T) {
+	var sb strings.Builder
+	Bound(&sb, Core, []string{"fb"})
+	if !strings.Contains(sb.String(), "levels") {
+		t.Fatalf("missing bound output: %q", sb.String())
+	}
+}
+
+func TestTradeoffOutput(t *testing.T) {
+	var sb strings.Builder
+	Tradeoff(&sb, Core, "fb")
+	if !strings.Contains(sb.String(), "kendall") {
+		t.Fatalf("missing tradeoff output: %q", sb.String())
+	}
+}
+
+func TestQueryOutput(t *testing.T) {
+	var sb strings.Builder
+	Query(&sb, "fb", 8, []int{0, 1}, 1)
+	if !strings.Contains(sb.String(), "mean-rel-err") {
+		t.Fatalf("missing query output: %q", sb.String())
+	}
+}
+
+func TestOrderAblationOutput(t *testing.T) {
+	var sb strings.Builder
+	OrderAblation(&sb, Core, []string{"fb"}, 1)
+	out := sb.String()
+	if !strings.Contains(out, "peel") || !strings.Contains(out, "random") {
+		t.Fatalf("missing ablation columns: %q", out)
+	}
+	// The peel-order column must be 1 (Theorem 4).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	fields := strings.Fields(lines[len(lines)-1])
+	if fields[2] != "1" {
+		t.Fatalf("peel-order iterations = %s, want 1", fields[2])
+	}
+}
+
+func TestSchedulingAblationOutput(t *testing.T) {
+	var sb strings.Builder
+	SchedulingAblation(&sb, Core, "fb", []int{4, 24})
+	if !strings.Contains(sb.String(), "late-dynamic") {
+		t.Fatalf("missing scheduling output: %q", sb.String())
+	}
+}
+
+func TestFig1bScalabilityOutput(t *testing.T) {
+	var sb strings.Builder
+	Fig1bScalability(&sb, Core, []string{"fb"}, []int{4, 24})
+	if !strings.Contains(sb.String(), "speedup") {
+		t.Fatalf("missing scalability output: %q", sb.String())
+	}
+}
+
+func TestDecString(t *testing.T) {
+	if Core.String() != "(1,2)" || Truss.String() != "(2,3)" || N34.String() != "(3,4)" {
+		t.Fatal("bad Dec names")
+	}
+}
+
+func TestDensityQualityOutput(t *testing.T) {
+	var sb strings.Builder
+	DensityQuality(&sb, "fb", 5)
+	out := sb.String()
+	if !strings.Contains(out, "charikar") || !strings.Contains(out, "(3,4)") {
+		t.Fatalf("missing density rows: %q", out)
+	}
+}

@@ -1,0 +1,115 @@
+package graph
+
+// Fixtures: small graphs taken from the paper's illustrative figures, used
+// by tests and the documentation examples.
+
+// Figure2Vertices names the vertices of the paper's Figure 2 toy graph in id
+// order.
+var Figure2Vertices = []string{"a", "b", "c", "d", "e", "f"}
+
+// Figure2 returns the k-core toy graph of the paper's Figure 2:
+//
+//	f — e — a — b — c
+//	             \  |
+//	              \ d — c (b,c,d form a triangle)
+//
+// Degrees: a=2 b=3 c=2 d=2 e=2 f=1. Core numbers: a=e=f=1, b=c=d=2.
+// SND converges in two iterations; AND in the order {f,e,a,b,c,d}
+// (non-decreasing core numbers) converges in one (Theorem 4).
+func Figure2() *Graph {
+	const (
+		a = iota
+		b
+		c
+		d
+		e
+		f
+	)
+	return Build(6, [][2]uint32{
+		{a, e}, {a, b},
+		{b, c}, {b, d},
+		{c, d},
+		{e, f},
+	})
+}
+
+// TrussToy returns the k-truss toy used across the paper's running truss
+// example (Figure 5 flavor): a dense block {a,b,c,d,e} where edge ab sits in
+// four triangles, plus a pendant triangle structure through i.
+//
+// Constructed so that edge ab participates in triangles abc, abd, abe, abi.
+func TrussToy() *Graph {
+	const (
+		a = iota
+		b
+		c
+		d
+		e
+		h
+		i
+	)
+	return Build(7, [][2]uint32{
+		{a, b}, {a, c}, {a, d}, {a, e}, {a, i},
+		{b, c}, {b, d}, {b, e}, {b, i},
+		{c, d},
+		{d, e},
+		{e, h}, {d, h},
+	})
+}
+
+// Nucleus34Toy returns the Figure 3 toy graph: two overlapping dense blocks
+// {a,b,c,d} and {c,d,e,f,h} plus a pendant vertex g. The two blocks are
+// separate 1-(3,4) nuclei (no 4-clique spans both), while k-truss merges
+// them into one 2-truss.
+func Nucleus34Toy() *Graph {
+	const (
+		a = iota
+		b
+		c
+		d
+		e
+		f
+		g
+		h
+	)
+	return Build(8, [][2]uint32{
+		// K4 on {a,b,c,d}
+		{a, b}, {a, c}, {a, d}, {b, c}, {b, d}, {c, d},
+		// K4s inside {c,d,e,f,h}: complete on those five vertices minus
+		// nothing — make it K5 to be 1-(3,4) rich.
+		{c, e}, {c, f}, {c, h},
+		{d, e}, {d, f}, {d, h},
+		{e, f}, {e, h},
+		{f, h},
+		// pendant g hanging off h
+		{g, h},
+	})
+}
+
+// LevelsToy returns the Figure 4 degree-levels toy: a 7-vertex graph where
+// L0={a}, L1={b}, L2={c,g}, L3={d,e,f} under the k-core (1,2) levels.
+//
+// Structure: pendant path a—b into c; triangle {d,e,f}; c attaches to d,e
+// and g attaches to d,f. Removing a exposes b; removing b leaves c and g
+// at the minimum degree 2; removing both leaves the triangle. Built to
+// match the paper's recursive level structure, not its exact (illegible)
+// adjacency; tests assert the level sizes.
+func LevelsToy() *Graph {
+	const (
+		a = iota
+		b
+		c
+		d
+		e
+		f
+		g
+	)
+	return Build(7, [][2]uint32{
+		{a, b},
+		{b, c},
+		{c, d}, {c, e},
+		{g, d}, {g, f},
+		{d, e}, {d, f},
+		{e, f},
+	})
+}

@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the text loader never panics and that any graph
+// it accepts round-trips through the writer.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("# comment\n5 5\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("4294967295 0\n"))
+	f.Add([]byte("1 2 3 4\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("write failed on accepted graph: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if g2.M() != g.M() {
+			t.Fatalf("round trip changed edge count: %d vs %d", g2.M(), g.M())
+		}
+	})
+}
+
+// FuzzBuild checks graph construction tolerates arbitrary edge lists.
+func FuzzBuild(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2})
+	f.Add([]byte{7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var edges [][2]uint32
+		for i := 0; i+1 < len(data); i += 2 {
+			edges = append(edges, [2]uint32{uint32(data[i]), uint32(data[i+1])})
+		}
+		g := Build(-1, edges)
+		// Basic invariants: sorted unique rows, mirrored edges, ids dense.
+		var undirected int64
+		for u := 0; u < g.N(); u++ {
+			ns := g.Neighbors(uint32(u))
+			for i, v := range ns {
+				if i > 0 && ns[i-1] >= v {
+					t.Fatal("row not sorted/unique")
+				}
+				if v == uint32(u) {
+					t.Fatal("self loop survived")
+				}
+				if !g.HasEdge(v, uint32(u)) {
+					t.Fatal("asymmetric edge")
+				}
+				if v > uint32(u) {
+					undirected++
+				}
+			}
+		}
+		if undirected != g.M() {
+			t.Fatalf("edge count mismatch: %d vs %d", undirected, g.M())
+		}
+	})
+}

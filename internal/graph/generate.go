@@ -1,0 +1,340 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GnM generates an Erdős–Rényi random graph with n vertices and (up to) m
+// distinct undirected edges, using the supplied seed for reproducibility.
+// Duplicate samples are collapsed by Build, so the realized edge count can be
+// marginally below m on dense parameterizations.
+func GnM(n int, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][2]uint32, 0, m)
+	seen := make(map[uint64]struct{}, m)
+	for len(edges) < m {
+		u := uint32(rng.Intn(n))
+		v := uint32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, [2]uint32{u, v})
+	}
+	return Build(n, edges)
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: each new vertex
+// attaches to k existing vertices chosen proportionally to degree. The
+// resulting degree distribution is heavy tailed, similar to social networks.
+func BarabasiAlbert(n, k int, seed int64) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// targets holds one entry per edge endpoint: sampling uniformly from it
+	// realizes degree-proportional attachment.
+	targets := make([]uint32, 0, 2*n*k)
+	edges := make([][2]uint32, 0, n*k)
+	// Seed with a (k+1)-clique so early attachments have somewhere to go.
+	core := k + 1
+	if core > n {
+		core = n
+	}
+	for u := 0; u < core; u++ {
+		for v := u + 1; v < core; v++ {
+			edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+			targets = append(targets, uint32(u), uint32(v))
+		}
+	}
+	for u := core; u < n; u++ {
+		chosen := make([]uint32, 0, k)
+		for len(chosen) < k {
+			v := targets[rng.Intn(len(targets))]
+			dup := false
+			for _, w := range chosen {
+				if w == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, v)
+			}
+		}
+		for _, v := range chosen {
+			edges = append(edges, [2]uint32{uint32(u), v})
+			targets = append(targets, uint32(u), v)
+		}
+	}
+	return Build(n, edges)
+}
+
+// RMAT generates a recursive-matrix (Kronecker-like) graph with 2^scale
+// vertices and roughly edgeFactor*2^scale undirected edges, using the
+// classic (a,b,c,d) quadrant probabilities. RMAT graphs have skewed degree
+// distributions and community-like structure, making them stand-ins for web
+// and social graphs.
+func RMAT(scale int, edgeFactor int, a, b, c float64, seed int64) *Graph {
+	n := 1 << scale
+	m := edgeFactor * n
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][2]uint32, 0, m)
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: nothing to add
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+	}
+	return Build(n, edges)
+}
+
+// WattsStrogatz generates a small-world ring lattice with n vertices, each
+// connected to its k nearest neighbors on each side, with rewiring
+// probability p.
+func WattsStrogatz(n, k int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][2]uint32, 0, n*k)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + j) % n
+			if rng.Float64() < p {
+				v = rng.Intn(n)
+				if v == u {
+					v = (u + 1) % n
+				}
+			}
+			edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		}
+	}
+	return Build(n, edges)
+}
+
+// PlantedCommunities generates a graph of `communities` groups of size
+// `size`, with intra-community edge probability pIn and a sparse random
+// backbone of interEdges edges between communities. High pIn produces the
+// locally dense, globally sparse structure of social networks such as the
+// paper's facebook graph, with rich triangle and 4-clique content.
+func PlantedCommunities(communities, size int, pIn float64, interEdges int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := communities * size
+	var edges [][2]uint32
+	for c := 0; c < communities; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if rng.Float64() < pIn {
+					edges = append(edges, [2]uint32{uint32(base + i), uint32(base + j)})
+				}
+			}
+		}
+	}
+	for i := 0; i < interEdges; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u != v {
+			edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		}
+	}
+	return Build(n, edges)
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	edges := make([][2]uint32, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+		}
+	}
+	return Build(n, edges)
+}
+
+// Path returns the path graph P_n.
+func Path(n int) *Graph {
+	edges := make([][2]uint32, 0, n-1)
+	for u := 0; u+1 < n; u++ {
+		edges = append(edges, [2]uint32{uint32(u), uint32(u + 1)})
+	}
+	return Build(n, edges)
+}
+
+// Cycle returns the cycle graph C_n.
+func Cycle(n int) *Graph {
+	edges := make([][2]uint32, 0, n)
+	for u := 0; u < n; u++ {
+		edges = append(edges, [2]uint32{uint32(u), uint32((u + 1) % n)})
+	}
+	return Build(n, edges)
+}
+
+// Star returns the star graph with n leaves (n+1 vertices, hub = 0).
+func Star(n int) *Graph {
+	edges := make([][2]uint32, 0, n)
+	for v := 1; v <= n; v++ {
+		edges = append(edges, [2]uint32{0, uint32(v)})
+	}
+	return Build(n+1, edges)
+}
+
+// CliqueChain returns `count` cliques of size k, consecutive cliques joined
+// by a single bridge edge. Useful for hierarchy tests: each clique is a
+// (k-1)-core while the whole graph is only a 1-core.
+func CliqueChain(count, k int) *Graph {
+	var edges [][2]uint32
+	for c := 0; c < count; c++ {
+		base := c * k
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				edges = append(edges, [2]uint32{uint32(base + i), uint32(base + j)})
+			}
+		}
+		if c > 0 {
+			edges = append(edges, [2]uint32{uint32(base - 1), uint32(base)})
+		}
+	}
+	return Build(count*k, edges)
+}
+
+// Turan returns the Turán graph T(n,r): the complete r-partite graph on n
+// vertices with near-equal parts. It is triangle-rich for r >= 3 and a
+// stress case for (3,4) decomposition when r >= 4.
+func Turan(n, r int) *Graph {
+	part := make([]int, n)
+	for i := range part {
+		part[i] = i % r
+	}
+	var edges [][2]uint32
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if part[u] != part[v] {
+				edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+			}
+		}
+	}
+	return Build(n, edges)
+}
+
+// PowerLawCluster is a Holme–Kim style generator: Barabási–Albert
+// attachment where each attachment step is followed, with probability p,
+// by a triad-formation step (connect to a random neighbor of the previous
+// target). It yields heavy tails plus high clustering — triangle-dense.
+func PowerLawCluster(n, k int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	targets := make([]uint32, 0, 2*n*k)
+	adjList := make([][]uint32, n)
+	have := make(map[uint64]struct{}, n*k)
+	var edges [][2]uint32
+	addEdge := func(u, v uint32) bool {
+		if u == v {
+			return false
+		}
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := uint64(lo)<<32 | uint64(hi)
+		if _, ok := have[key]; ok {
+			return false
+		}
+		have[key] = struct{}{}
+		adjList[u] = append(adjList[u], v)
+		adjList[v] = append(adjList[v], u)
+		edges = append(edges, [2]uint32{u, v})
+		targets = append(targets, u, v)
+		return true
+	}
+	core := k + 1
+	if core > n {
+		core = n
+	}
+	for u := 0; u < core; u++ {
+		for v := u + 1; v < core; v++ {
+			addEdge(uint32(u), uint32(v))
+		}
+	}
+	for u := core; u < n; u++ {
+		var last uint32
+		haveLast := false
+		added := 0
+		for attempts := 0; added < k && attempts < 20*k; attempts++ {
+			var v uint32
+			if haveLast && rng.Float64() < p {
+				// triad formation: pick a random neighbor of last.
+				ns := adjList[last]
+				if len(ns) > 0 {
+					v = ns[rng.Intn(len(ns))]
+				} else {
+					v = targets[rng.Intn(len(targets))]
+				}
+			} else {
+				v = targets[rng.Intn(len(targets))]
+			}
+			if addEdge(uint32(u), v) {
+				last, haveLast = v, true
+				added++
+			}
+		}
+	}
+	return Build(n, edges)
+}
+
+// LogNormalDegrees generates a Chung–Lu style random graph whose expected
+// degree sequence is log-normal with the given parameters. Mirrors the
+// degree skew of web graphs.
+func LogNormalDegrees(n int, mu, sigma float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, n)
+	total := 0.0
+	for i := range w {
+		w[i] = math.Exp(mu + sigma*rng.NormFloat64())
+		total += w[i]
+	}
+	// Chung–Lu sampling via weighted endpoint picks.
+	cum := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		cum[i+1] = cum[i] + w[i]
+	}
+	pick := func() uint32 {
+		r := rng.Float64() * total
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return uint32(lo)
+	}
+	m := int(total / 2)
+	edges := make([][2]uint32, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, [2]uint32{pick(), pick()})
+	}
+	return Build(n, edges)
+}

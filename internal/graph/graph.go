@@ -1,0 +1,241 @@
+// Package graph provides a compact undirected simple-graph representation
+// (CSR: compressed sparse rows) together with loaders, generators and the
+// ordering utilities required by the nucleus decomposition algorithms.
+//
+// Vertices are dense integers in [0, N). Neighbor lists are sorted in
+// increasing order, contain no duplicates and no self-loops. Each undirected
+// edge {u,v} additionally has a dense edge id in [0, M) assigned in the order
+// edges appear in the CSR rows of their lower endpoint (u < v); edge ids are
+// the cell ids of the (2,3) (k-truss) decomposition.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected simple graph in CSR form.
+type Graph struct {
+	// offs has length N+1; the neighbors of u are adj[offs[u]:offs[u+1]].
+	offs []int64
+	// adj holds concatenated sorted neighbor lists.
+	adj []uint32
+	// eid[i] is the dense edge id of the undirected edge {u, adj[i]} where u
+	// owns position i. Both directions of an edge carry the same id.
+	eid []int64
+	// m is the number of undirected edges.
+	m int64
+	// edge endpoint tables, indexed by edge id; edgeU[e] < edgeV[e].
+	edgeU []uint32
+	edgeV []uint32
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.offs) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int64 { return g.m }
+
+// Degree returns the degree of vertex u.
+func (g *Graph) Degree(u uint32) int {
+	return int(g.offs[u+1] - g.offs[u])
+}
+
+// Neighbors returns the sorted neighbor slice of u. The slice aliases the
+// graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(u uint32) []uint32 {
+	return g.adj[g.offs[u]:g.offs[u+1]]
+}
+
+// EdgeIDs returns, for vertex u, the edge-id slice parallel to Neighbors(u).
+func (g *Graph) EdgeIDs(u uint32) []int64 {
+	return g.eid[g.offs[u]:g.offs[u+1]]
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v uint32) bool {
+	_, ok := g.EdgeID(u, v)
+	return ok
+}
+
+// EdgeID returns the dense id of edge {u,v} if present.
+func (g *Graph) EdgeID(u, v uint32) (int64, bool) {
+	if u == v {
+		return 0, false
+	}
+	// Search the smaller adjacency list.
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	if i < len(ns) && ns[i] == v {
+		return g.eid[g.offs[u]+int64(i)], true
+	}
+	return 0, false
+}
+
+// Edge returns the endpoints (u < v) of the edge with dense id e.
+// It is O(1) using the edge endpoint table built at construction.
+func (g *Graph) Edge(e int64) (u, v uint32) {
+	return g.edgeU[e], g.edgeV[e]
+}
+
+// Build constructs a Graph from an edge list. Self-loops are dropped and
+// duplicate edges collapsed. n must be at least max(endpoint)+1; pass n = -1
+// to infer it from the edges.
+func Build(n int, edges [][2]uint32) *Graph {
+	if n < 0 {
+		maxV := uint32(0)
+		for _, e := range edges {
+			if e[0] > maxV {
+				maxV = e[0]
+			}
+			if e[1] > maxV {
+				maxV = e[1]
+			}
+		}
+		if len(edges) == 0 {
+			n = 0
+		} else {
+			n = int(maxV) + 1
+		}
+	}
+	deg := make([]int64, n+1)
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		deg[e[0]+1]++
+		deg[e[1]+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	offs := deg
+	adj := make([]uint32, offs[n])
+	fill := make([]int64, n)
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		u, v := e[0], e[1]
+		adj[offs[u]+fill[u]] = v
+		fill[u]++
+		adj[offs[v]+fill[v]] = u
+		fill[v]++
+	}
+	// Sort each row and dedup in place, compacting the arrays.
+	w := int64(0)
+	newOffs := make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		row := adj[offs[u] : offs[u]+fill[u]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		start := w
+		var prev uint32
+		first := true
+		for _, v := range row {
+			if !first && v == prev {
+				continue
+			}
+			adj[w] = v
+			w++
+			prev, first = v, false
+		}
+		newOffs[u] = start
+	}
+	newOffs[n] = w
+	// newOffs currently holds row starts; convert to standard offsets.
+	offs = make([]int64, n+1)
+	copy(offs, newOffs)
+	adj = adj[:w]
+
+	g := &Graph{offs: offs, adj: adj}
+	g.assignEdgeIDs()
+	return g
+}
+
+// assignEdgeIDs walks rows in vertex order and numbers each edge {u,v} (u<v)
+// at its first appearance, mirroring the id onto the (v,u) direction.
+func (g *Graph) assignEdgeIDs() {
+	n := g.N()
+	g.eid = make([]int64, len(g.adj))
+	next := int64(0)
+	for u := 0; u < n; u++ {
+		uu := uint32(u)
+		ns := g.Neighbors(uu)
+		base := g.offs[u]
+		for i, v := range ns {
+			if v > uu {
+				g.eid[base+int64(i)] = next
+				next++
+			}
+		}
+	}
+	g.m = next
+	g.edgeU = make([]uint32, next)
+	g.edgeV = make([]uint32, next)
+	// Mirror ids to the upper-triangle direction and record endpoints.
+	for u := 0; u < n; u++ {
+		uu := uint32(u)
+		ns := g.Neighbors(uu)
+		base := g.offs[u]
+		for i, v := range ns {
+			if v > uu {
+				e := g.eid[base+int64(i)]
+				g.edgeU[e] = uu
+				g.edgeV[e] = v
+			} else {
+				// Find id on v's row (v < u, already assigned).
+				id, ok := g.lookupAssigned(v, uu)
+				if !ok {
+					panic("graph: missing mirrored edge")
+				}
+				g.eid[base+int64(i)] = id
+			}
+		}
+	}
+}
+
+func (g *Graph) lookupAssigned(u, v uint32) (int64, bool) {
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	if i < len(ns) && ns[i] == v {
+		return g.eid[g.offs[u]+int64(i)], true
+	}
+	return 0, false
+}
+
+// Edges returns the edge list with u < v, indexed by edge id.
+func (g *Graph) Edges() [][2]uint32 {
+	out := make([][2]uint32, g.m)
+	for e := int64(0); e < g.m; e++ {
+		out[e] = [2]uint32{g.edgeU[e], g.edgeV[e]}
+	}
+	return out
+}
+
+// MaxDegree returns the maximum vertex degree.
+func (g *Graph) MaxDegree() int {
+	md := 0
+	for u := 0; u < g.N(); u++ {
+		if d := g.Degree(uint32(u)); d > md {
+			md = d
+		}
+	}
+	return md
+}
+
+// Degrees returns the degree of every vertex.
+func (g *Graph) Degrees() []int32 {
+	out := make([]int32, g.N())
+	for u := range out {
+		out[u] = int32(g.Degree(uint32(u)))
+	}
+	return out
+}
+
+// String implements fmt.Stringer with a short summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.N(), g.M())
+}

@@ -1,0 +1,63 @@
+package graph
+
+import "testing"
+
+func BenchmarkBuild(b *testing.B) {
+	edges := GnM(5000, 40000, 1).Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(5000, edges)
+	}
+}
+
+func BenchmarkGnM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GnM(5000, 40000, int64(i))
+	}
+}
+
+func BenchmarkRMAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RMAT(12, 8, 0.57, 0.19, 0.19, int64(i))
+	}
+}
+
+func BenchmarkPowerLawCluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		PowerLawCluster(4000, 8, 0.5, int64(i))
+	}
+}
+
+func BenchmarkDegeneracyOrder(b *testing.B) {
+	g := RMAT(13, 8, 0.57, 0.19, 0.19, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.DegeneracyOrder()
+	}
+}
+
+func BenchmarkEdgeID(b *testing.B) {
+	g := RMAT(12, 8, 0.57, 0.19, 0.19, 3)
+	edges := g.Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		g.EdgeID(e[0], e[1])
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := GnM(10000, 30000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ConnectedComponents()
+	}
+}
+
+func BenchmarkBFSWithin(b *testing.B) {
+	g := PowerLawCluster(10000, 6, 0.4, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFSWithin([]uint32{uint32(i % g.N())}, 2)
+	}
+}

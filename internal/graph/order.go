@@ -1,0 +1,169 @@
+package graph
+
+// DegreeOrder returns a permutation rank such that rank[u] < rank[v] iff
+// (deg(u), u) < (deg(v), v). Orienting edges from lower to higher rank
+// bounds out-degree by the graph's arboricity-ish degree skew and is the
+// standard orientation for triangle enumeration.
+func (g *Graph) DegreeOrder() []int32 {
+	n := g.N()
+	rank := make([]int32, n)
+	// Counting sort by degree, ties by vertex id.
+	maxDeg := g.MaxDegree()
+	cnt := make([]int32, maxDeg+2)
+	for u := 0; u < n; u++ {
+		cnt[g.Degree(uint32(u))+1]++
+	}
+	for d := 1; d < len(cnt); d++ {
+		cnt[d] += cnt[d-1]
+	}
+	for u := 0; u < n; u++ {
+		d := g.Degree(uint32(u))
+		rank[u] = cnt[d]
+		cnt[d]++
+	}
+	return rank
+}
+
+// DegeneracyOrder returns (rank, degeneracy): rank is a permutation where
+// vertices are removed in minimum-degree-first order (the k-core peeling
+// order), and degeneracy is the largest minimum degree seen, i.e. the
+// maximum core number. Orienting by degeneracy rank bounds the out-degree
+// of every vertex by the degeneracy.
+func (g *Graph) DegeneracyOrder() (rank []int32, degeneracy int) {
+	n := g.N()
+	deg := make([]int32, n)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		deg[u] = int32(g.Degree(uint32(u)))
+		if int(deg[u]) > maxDeg {
+			maxDeg = int(deg[u])
+		}
+	}
+	// Batagelj–Zaversnik bin sort: vert holds vertices sorted by current
+	// degree, pos[v] is v's index in vert, bin[d] is the start of degree
+	// bucket d.
+	bin := make([]int32, maxDeg+2)
+	for u := 0; u < n; u++ {
+		bin[deg[u]]++
+	}
+	start := int32(0)
+	for d := 0; d <= maxDeg; d++ {
+		c := bin[d]
+		bin[d] = start
+		start += c
+	}
+	vert := make([]int32, n)
+	pos := make([]int32, n)
+	for u := 0; u < n; u++ {
+		pos[u] = bin[deg[u]]
+		vert[pos[u]] = int32(u)
+		bin[deg[u]]++
+	}
+	// Restore bin to bucket starts.
+	for d := maxDeg; d >= 1; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	rank = make([]int32, n)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		rank[v] = int32(i)
+		if int(deg[v]) > degeneracy {
+			degeneracy = int(deg[v])
+		}
+		for _, u := range g.Neighbors(uint32(v)) {
+			if deg[u] > deg[v] {
+				du, pu := deg[u], pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if int32(u) != w {
+					vert[pu], vert[pw] = w, int32(u)
+					pos[u], pos[w] = pw, pu
+				}
+				bin[du]++
+				deg[u]--
+			}
+		}
+	}
+	return rank, degeneracy
+}
+
+// ConnectedComponents labels each vertex with a component id in [0, count).
+func (g *Graph) ConnectedComponents() (comp []int32, count int) {
+	n := g.N()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []uint32
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = int32(count)
+		queue = append(queue[:0], uint32(s))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.Neighbors(u) {
+				if comp[v] < 0 {
+					comp[v] = int32(count)
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set along
+// with the mapping old→new vertex id (-1 for excluded vertices).
+func (g *Graph) InducedSubgraph(vertices []uint32) (*Graph, []int32) {
+	n := g.N()
+	remap := make([]int32, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, v := range vertices {
+		remap[v] = int32(i)
+	}
+	var edges [][2]uint32
+	for _, u := range vertices {
+		for _, v := range g.Neighbors(u) {
+			if v > u && remap[v] >= 0 {
+				edges = append(edges, [2]uint32{uint32(remap[u]), uint32(remap[v])})
+			}
+		}
+	}
+	return Build(len(vertices), edges), remap
+}
+
+// BFSWithin returns all vertices within `hops` of any seed vertex (including
+// the seeds), in BFS discovery order.
+func (g *Graph) BFSWithin(seeds []uint32, hops int) []uint32 {
+	dist := make(map[uint32]int, len(seeds)*4)
+	var frontier, out []uint32
+	for _, s := range seeds {
+		if _, ok := dist[s]; !ok {
+			dist[s] = 0
+			frontier = append(frontier, s)
+			out = append(out, s)
+		}
+	}
+	for h := 0; h < hops && len(frontier) > 0; h++ {
+		var next []uint32
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if _, ok := dist[v]; !ok {
+					dist[v] = h + 1
+					next = append(next, v)
+					out = append(out, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package graph
+
+import "sort"
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d.
+func (g *Graph) DegreeHistogram() []int64 {
+	h := make([]int64, g.MaxDegree()+1)
+	for u := 0; u < g.N(); u++ {
+		h[g.Degree(uint32(u))]++
+	}
+	return h
+}
+
+// AverageDegree returns 2M/N, the mean vertex degree.
+func (g *Graph) AverageDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.M()) / float64(g.N())
+}
+
+// GlobalClusteringCoefficient returns 3*triangles / open-plus-closed wedges
+// (transitivity). Triangle-free graphs return 0.
+func (g *Graph) GlobalClusteringCoefficient() float64 {
+	var wedges int64
+	for u := 0; u < g.N(); u++ {
+		d := int64(g.Degree(uint32(u)))
+		wedges += d * (d - 1) / 2
+	}
+	if wedges == 0 {
+		return 0
+	}
+	var closed int64
+	// Count closed wedges as 3x the triangle count via a rank-oriented
+	// enumeration (inline to avoid an import cycle with cliques).
+	rank := g.DegreeOrder()
+	out := make([][]uint32, g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(uint32(u)) {
+			if rank[v] > rank[u] {
+				out[u] = append(out[u], v)
+			}
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range out[u] {
+			i, j := 0, 0
+			a, b := out[u], out[v]
+			for i < len(a) && j < len(b) {
+				switch {
+				case a[i] < b[j]:
+					i++
+				case a[i] > b[j]:
+					j++
+				default:
+					closed++
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return 3 * float64(closed) / float64(wedges)
+}
+
+// LargestComponent returns the subgraph induced by the largest connected
+// component together with the old→new vertex mapping.
+func (g *Graph) LargestComponent() (*Graph, []int32) {
+	comp, count := g.ConnectedComponents()
+	if count <= 1 {
+		remap := make([]int32, g.N())
+		for i := range remap {
+			remap[i] = int32(i)
+		}
+		return g, remap
+	}
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	var vs []uint32
+	for u, c := range comp {
+		if int(c) == best {
+			vs = append(vs, uint32(u))
+		}
+	}
+	return g.InducedSubgraph(vs)
+}
+
+// DegreePercentiles returns the degrees at the requested percentiles
+// (0..100), interpolation-free (nearest rank).
+func (g *Graph) DegreePercentiles(ps ...float64) []int {
+	degs := make([]int, g.N())
+	for u := range degs {
+		degs[u] = g.Degree(uint32(u))
+	}
+	sort.Ints(degs)
+	out := make([]int, len(ps))
+	for i, p := range ps {
+		if len(degs) == 0 {
+			continue
+		}
+		idx := int(p / 100 * float64(len(degs)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(degs) {
+			idx = len(degs) - 1
+		}
+		out[i] = degs[idx]
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDegreeHistogram(t *testing.T) {
+	g := Star(4)
+	h := g.DegreeHistogram()
+	if h[1] != 4 || h[4] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestAverageDegree(t *testing.T) {
+	g := Cycle(10)
+	if got := g.AverageDegree(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("cycle avg degree = %v", got)
+	}
+	if got := Build(0, nil).AverageDegree(); got != 0 {
+		t.Fatalf("empty avg degree = %v", got)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Complete graph: transitivity 1.
+	if got := Complete(6).GlobalClusteringCoefficient(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("K6 transitivity = %v", got)
+	}
+	// Triangle-free: 0.
+	if got := Star(5).GlobalClusteringCoefficient(); got != 0 {
+		t.Fatalf("star transitivity = %v", got)
+	}
+	// Path (has wedges, no triangles): 0.
+	if got := Path(10).GlobalClusteringCoefficient(); got != 0 {
+		t.Fatalf("path transitivity = %v", got)
+	}
+	// A triangle with a pendant: 1 triangle (3 closed wedges), wedges:
+	// deg(a)=2,deg(b)=2,deg(c)=3,pendant=1 -> 1+1+3+0 = 5 wedges.
+	g := Build(4, [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if got := g.GlobalClusteringCoefficient(); math.Abs(got-3.0/5.0) > 1e-9 {
+		t.Fatalf("pendant triangle transitivity = %v, want 0.6", got)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	// Triangle plus an edge plus isolated vertex.
+	g := Build(6, [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {3, 4}})
+	lcc, remap := g.LargestComponent()
+	if lcc.N() != 3 || lcc.M() != 3 {
+		t.Fatalf("lcc: n=%d m=%d", lcc.N(), lcc.M())
+	}
+	if remap[0] < 0 || remap[3] != -1 || remap[5] != -1 {
+		t.Fatalf("remap = %v", remap)
+	}
+	// Connected graph: returned as-is.
+	conn := Cycle(5)
+	same, _ := conn.LargestComponent()
+	if same != conn {
+		t.Fatal("connected graph should be returned unchanged")
+	}
+}
+
+func TestDegreePercentiles(t *testing.T) {
+	g := Star(9) // degrees: 9 plus nine 1s
+	ps := g.DegreePercentiles(0, 50, 100)
+	if ps[0] != 1 || ps[1] != 1 || ps[2] != 9 {
+		t.Fatalf("percentiles = %v", ps)
+	}
+}

@@ -1,0 +1,45 @@
+package hierarchy
+
+import (
+	"fmt"
+	"io"
+
+	"nucleus/internal/graph"
+)
+
+// WriteDOT renders the forest in GraphViz DOT format: one box per nucleus
+// labeled with its threshold, cell count and (when g is non-nil) density,
+// edges pointing from parent to child. Nodes smaller than minSize cells
+// are elided.
+func (f *Forest) WriteDOT(w io.Writer, g *graph.Graph, minSize int) error {
+	if _, err := fmt.Fprintln(w, "digraph nuclei {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, `  node [shape=box, fontname="Helvetica"];`)
+	id := 0
+	var walk func(n *Node) (int, bool)
+	walk = func(n *Node) (int, bool) {
+		if n.SubtreeCells < minSize {
+			return 0, false
+		}
+		my := id
+		id++
+		label := fmt.Sprintf("k=%d\\ncells=%d", n.K, n.SubtreeCells)
+		if g != nil {
+			label += fmt.Sprintf("\\ndensity=%.2f", f.Density(g, n))
+		}
+		fmt.Fprintf(w, "  n%d [label=\"%s\"];\n", my, label)
+		for _, c := range n.Children {
+			child, ok := walk(c)
+			if ok {
+				fmt.Fprintf(w, "  n%d -> n%d;\n", my, child)
+			}
+		}
+		return my, true
+	}
+	for _, r := range f.Roots {
+		walk(r)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

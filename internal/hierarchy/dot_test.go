@@ -1,0 +1,37 @@
+package hierarchy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g, f := hubForest(t)
+	var buf bytes.Buffer
+	if err := f.WriteDOT(&buf, g, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph nuclei {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("not a DOT document: %q", out)
+	}
+	// 1 root + 3 children = 4 boxes, 3 edges.
+	if got := strings.Count(out, "[label="); got != 4 {
+		t.Fatalf("node count = %d, want 4", got)
+	}
+	if got := strings.Count(out, "->"); got != 3 {
+		t.Fatalf("edge count = %d", got)
+	}
+	if !strings.Contains(out, "density=") {
+		t.Fatal("missing density labels")
+	}
+	// Eliding everything yields an empty digraph.
+	var buf2 bytes.Buffer
+	if err := f.WriteDOT(&buf2, nil, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf2.String(), "->") {
+		t.Fatal("elided forest still has edges")
+	}
+}

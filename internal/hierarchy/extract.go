@@ -1,0 +1,117 @@
+package hierarchy
+
+import (
+	"sort"
+
+	"nucleus/internal/graph"
+	"nucleus/internal/nucleus"
+)
+
+// MaxNucleusOf returns the cells of the maximum nucleus of the given cell:
+// the maximal S-connected set of cells with κ at least κ(cell) reachable
+// from it (§2 of the paper: "maximum core of a vertex is the maximal
+// subgraph around it that contains vertices with equal or larger core
+// numbers", generalized to any instance). The result is sorted and
+// includes the cell itself.
+func MaxNucleusOf(inst nucleus.Instance, kappa []int32, cell int32) []int32 {
+	k := kappa[cell]
+	seen := map[int32]struct{}{cell: {}}
+	stack := []int32{cell}
+	var out []int32
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, c)
+		// Move only through s-cliques whose every member has κ >= k: those
+		// are the s-cliques that survive inside the k-nucleus, so the
+		// traversal respects S-connectedness.
+		inst.VisitSCliques(c, func(others []int32) bool {
+			for _, d := range others {
+				if kappa[d] < k {
+					return true
+				}
+			}
+			for _, d := range others {
+				if _, ok := seen[d]; !ok {
+					seen[d] = struct{}{}
+					stack = append(stack, d)
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// KNucleusSubgraphs returns the cell sets of all k-(r,s) nuclei for the
+// given threshold k: the S-connected components of the cells with κ >= k.
+func KNucleusSubgraphs(inst nucleus.Instance, kappa []int32, k int32) [][]int32 {
+	n := inst.NumCells()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var groups [][]int32
+	for s := int32(0); s < int32(n); s++ {
+		if kappa[s] < k || comp[s] >= 0 {
+			continue
+		}
+		id := int32(len(groups))
+		comp[s] = id
+		stack := []int32{s}
+		var cells []int32
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cells = append(cells, c)
+			inst.VisitSCliques(c, func(others []int32) bool {
+				for _, d := range others {
+					if kappa[d] < k {
+						return true
+					}
+				}
+				for _, d := range others {
+					if comp[d] < 0 {
+						comp[d] = id
+						stack = append(stack, d)
+					}
+				}
+				return true
+			})
+		}
+		sort.Slice(cells, func(a, b int) bool { return cells[a] < cells[b] })
+		groups = append(groups, cells)
+	}
+	return groups
+}
+
+// CellsToVertices maps a cell set to its sorted distinct vertex set.
+func CellsToVertices(inst nucleus.Instance, cells []int32) []uint32 {
+	set := make(map[uint32]struct{})
+	var buf []uint32
+	for _, c := range cells {
+		buf = inst.CellVertices(c, buf[:0])
+		for _, v := range buf {
+			set[v] = struct{}{}
+		}
+	}
+	out := make([]uint32, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// KCoreSubgraph extracts the induced subgraph of the classic k-core: all
+// vertices with core number >= k. kappa must be the (1,2) decomposition.
+func KCoreSubgraph(g *graph.Graph, kappa []int32, k int32) (*graph.Graph, []int32) {
+	var vs []uint32
+	for v, kv := range kappa {
+		if kv >= k {
+			vs = append(vs, uint32(v))
+		}
+	}
+	return g.InducedSubgraph(vs)
+}

@@ -1,0 +1,268 @@
+// Package hierarchy materializes the nucleus hierarchy (the "forest of
+// nuclei") from a κ assignment: every k-(r,s) nucleus is an S-connected
+// component of the cells with κ >= k, and nuclei nest — each (k+1)-nucleus
+// is contained in exactly one k-nucleus. The forest is built bottom-up with
+// a union-find over cells, activating cells in decreasing κ order, the way
+// the traversal algorithms of the nucleus decomposition papers do.
+package hierarchy
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"nucleus/internal/graph"
+	"nucleus/internal/nucleus"
+)
+
+// Node is one nucleus in the forest.
+type Node struct {
+	// K is the nucleus threshold: every cell in the subtree has κ >= K.
+	K int32
+	// Cells lists the cells whose κ equals K inside this nucleus (cells
+	// with larger κ live in descendant nodes).
+	Cells []int32
+	// Children are the nuclei directly nested inside this one.
+	Children []*Node
+	// SubtreeCells is the total number of cells in the nucleus.
+	SubtreeCells int
+}
+
+// Forest is the complete nucleus hierarchy of one decomposition.
+type Forest struct {
+	Roots []*Node
+	// Inst is the instance the forest was built from.
+	Inst nucleus.Instance
+}
+
+// Build constructs the nucleus forest from κ. Cells are activated in
+// decreasing κ order; neighbors (cells sharing an s-clique) merge via
+// union-find, and every merge or first appearance at level k ensures a node
+// with K = k above the merged components.
+func Build(inst nucleus.Instance, kappa []int32) *Forest {
+	n := inst.NumCells()
+	if n != len(kappa) {
+		panic("hierarchy: kappa length mismatch")
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return kappa[order[a]] > kappa[order[b]] })
+
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1 // inactive
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	// node[root] is the current hierarchy node of the component rooted at
+	// root, or nil when the component has not been wrapped yet.
+	node := make(map[int32]*Node, 64)
+
+	i := 0
+	for i < n {
+		k := kappa[order[i]]
+		// Slice out all cells of κ == k.
+		levelCells := order[i:]
+		j := 0
+		for j < len(levelCells) && kappa[levelCells[j]] == k {
+			j++
+		}
+		levelCells = levelCells[:j]
+		i += j
+
+		// touched tracks the current roots affected at this level;
+		// pendingChildren accumulates the prior-level nodes merged under
+		// each root.
+		touched := make(map[int32]struct{})
+		pendingChildren := make(map[int32][]*Node)
+
+		union := func(a, b int32) {
+			ra, rb := find(a), find(b)
+			if ra == rb {
+				return
+			}
+			var kids []*Node
+			kids = append(kids, pendingChildren[ra]...)
+			kids = append(kids, pendingChildren[rb]...)
+			if nd := node[ra]; nd != nil {
+				kids = append(kids, nd)
+				delete(node, ra)
+			}
+			if nd := node[rb]; nd != nil {
+				kids = append(kids, nd)
+				delete(node, rb)
+			}
+			delete(pendingChildren, ra)
+			delete(pendingChildren, rb)
+			delete(touched, ra)
+			delete(touched, rb)
+			parent[rb] = ra
+			pendingChildren[ra] = kids
+			touched[ra] = struct{}{}
+		}
+
+		for _, c := range levelCells {
+			parent[c] = c
+			touched[c] = struct{}{}
+			// Union c through its s-cliques, but only through s-cliques
+			// that survive at this level: S-connectedness requires every
+			// member of the s-clique to be in the nucleus, i.e. already
+			// activated. An s-clique with a not-yet-activated member is
+			// processed later, when its last member activates.
+			inst.VisitSCliques(c, func(others []int32) bool {
+				for _, d := range others {
+					if parent[d] < 0 {
+						return true // s-clique not alive at this level
+					}
+				}
+				for _, d := range others {
+					union(c, d)
+				}
+				return true
+			})
+		}
+
+		// Wrap every touched component in a level-k node holding the
+		// level's cells of that component.
+		cellsOf := make(map[int32][]int32)
+		for _, c := range levelCells {
+			cellsOf[find(c)] = append(cellsOf[find(c)], c)
+		}
+		for r := range touched {
+			root := find(r)
+			nd := &Node{K: k, Cells: cellsOf[root]}
+			nd.Children = append(nd.Children, pendingChildren[root]...)
+			if prev := node[root]; prev != nil {
+				nd.Children = append(nd.Children, prev)
+			}
+			node[root] = nd
+			delete(pendingChildren, root)
+			delete(cellsOf, root)
+		}
+	}
+
+	f := &Forest{Inst: inst}
+	seen := make(map[*Node]struct{})
+	for _, r := range node {
+		if _, ok := seen[r]; ok {
+			continue
+		}
+		seen[r] = struct{}{}
+		f.Roots = append(f.Roots, r)
+	}
+	sort.Slice(f.Roots, func(a, b int) bool { return f.Roots[a].K < f.Roots[b].K })
+	for _, r := range f.Roots {
+		computeSizes(r)
+	}
+	return f
+}
+
+func computeSizes(n *Node) int {
+	total := len(n.Cells)
+	for _, c := range n.Children {
+		total += computeSizes(c)
+	}
+	n.SubtreeCells = total
+	return total
+}
+
+// NumNodes returns the number of nuclei in the forest.
+func (f *Forest) NumNodes() int {
+	count := 0
+	var walk func(*Node)
+	walk = func(n *Node) {
+		count++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range f.Roots {
+		walk(r)
+	}
+	return count
+}
+
+// Vertices returns the distinct graph vertices covered by the nucleus
+// rooted at n (its cells and all descendants').
+func (f *Forest) Vertices(n *Node) []uint32 {
+	set := make(map[uint32]struct{})
+	var buf []uint32
+	var walk func(*Node)
+	walk = func(nd *Node) {
+		for _, c := range nd.Cells {
+			buf = f.Inst.CellVertices(c, buf[:0])
+			for _, v := range buf {
+				set[v] = struct{}{}
+			}
+		}
+		for _, ch := range nd.Children {
+			walk(ch)
+		}
+	}
+	walk(n)
+	out := make([]uint32, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Density returns the edge density 2|E'|/(|V'|(|V'|-1)) of the subgraph of g
+// induced by the nucleus rooted at n.
+func (f *Forest) Density(g *graph.Graph, n *Node) float64 {
+	vs := f.Vertices(n)
+	if len(vs) < 2 {
+		return 0
+	}
+	in := make(map[uint32]struct{}, len(vs))
+	for _, v := range vs {
+		in[v] = struct{}{}
+	}
+	edges := 0
+	for _, u := range vs {
+		for _, v := range g.Neighbors(u) {
+			if v > u {
+				if _, ok := in[v]; ok {
+					edges++
+				}
+			}
+		}
+	}
+	nv := float64(len(vs))
+	return 2 * float64(edges) / (nv * (nv - 1))
+}
+
+// Print writes an indented rendering of the forest, largest K first within
+// each sibling group, eliding nodes below minSize cells.
+func (f *Forest) Print(w io.Writer, g *graph.Graph, minSize int) {
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		if n.SubtreeCells < minSize {
+			return
+		}
+		for i := 0; i < depth; i++ {
+			fmt.Fprint(w, "  ")
+		}
+		vs := f.Vertices(n)
+		fmt.Fprintf(w, "k=%d cells=%d vertices=%d density=%.3f\n",
+			n.K, n.SubtreeCells, len(vs), f.Density(g, n))
+		kids := append([]*Node(nil), n.Children...)
+		sort.Slice(kids, func(a, b int) bool { return kids[a].K > kids[b].K })
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range f.Roots {
+		walk(r, 0)
+	}
+}

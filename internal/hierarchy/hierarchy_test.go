@@ -1,0 +1,306 @@
+package hierarchy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nucleus/internal/graph"
+	"nucleus/internal/nucleus"
+	"nucleus/internal/peel"
+)
+
+func coreForest(g *graph.Graph) (*Forest, []int32) {
+	inst := nucleus.NewCore(g)
+	kappa := peel.Run(inst).Kappa
+	return Build(inst, kappa), kappa
+}
+
+func TestSingleClique(t *testing.T) {
+	g := graph.Complete(5)
+	f, _ := coreForest(g)
+	if len(f.Roots) != 1 {
+		t.Fatalf("roots = %d", len(f.Roots))
+	}
+	r := f.Roots[0]
+	if r.K != 4 || r.SubtreeCells != 5 || len(r.Children) != 0 {
+		t.Fatalf("root = {K:%d cells:%d children:%d}", r.K, r.SubtreeCells, len(r.Children))
+	}
+}
+
+func TestCliqueChainHierarchy(t *testing.T) {
+	// Three K5s joined by direct bridges keep min degree 4, so the whole
+	// graph is one 4-core: a single flat root.
+	g := graph.CliqueChain(3, 5)
+	f, _ := coreForest(g)
+	if len(f.Roots) != 1 {
+		t.Fatalf("roots = %d", len(f.Roots))
+	}
+	root := f.Roots[0]
+	if root.K != 4 || root.SubtreeCells != 15 || len(root.Children) != 0 {
+		t.Fatalf("root = {K:%d cells:%d children:%d}", root.K, root.SubtreeCells, len(root.Children))
+	}
+}
+
+func TestHubAndCliquesHierarchy(t *testing.T) {
+	// Three K5s each attached to a central hub by one edge: hub degree 3,
+	// the whole graph is a 3-core, and each K5 is a 4-core child.
+	var edges [][2]uint32
+	hub := uint32(15)
+	for c := 0; c < 3; c++ {
+		base := uint32(c * 5)
+		for i := uint32(0); i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				edges = append(edges, [2]uint32{base + i, base + j})
+			}
+		}
+		edges = append(edges, [2]uint32{hub, base})
+	}
+	g := graph.Build(16, edges)
+	f, kappa := coreForest(g)
+	if kappa[hub] != 3 {
+		t.Fatalf("hub κ = %d, want 3", kappa[hub])
+	}
+	if len(f.Roots) != 1 {
+		t.Fatalf("roots = %d", len(f.Roots))
+	}
+	root := f.Roots[0]
+	if root.K != 3 {
+		t.Fatalf("root K = %d, want 3", root.K)
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("root children = %d, want 3", len(root.Children))
+	}
+	for _, c := range root.Children {
+		if c.K != 4 || c.SubtreeCells != 5 {
+			t.Fatalf("child = {K:%d cells:%d}", c.K, c.SubtreeCells)
+		}
+	}
+	if f.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4", f.NumNodes())
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	// Two disjoint triangles: two roots, each a 2-core of 3 cells.
+	g := graph.Build(6, [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}})
+	f, _ := coreForest(g)
+	if len(f.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(f.Roots))
+	}
+	for _, r := range f.Roots {
+		if r.K != 2 || r.SubtreeCells != 3 {
+			t.Fatalf("root = {K:%d cells:%d}", r.K, r.SubtreeCells)
+		}
+	}
+}
+
+func TestFigure2Hierarchy(t *testing.T) {
+	// κ = {a:1,b:2,c:2,d:2,e:1,f:1}: a 1-core root with the {b,c,d}
+	// 2-core child.
+	g := graph.Figure2()
+	f, _ := coreForest(g)
+	if len(f.Roots) != 1 {
+		t.Fatalf("roots = %d", len(f.Roots))
+	}
+	root := f.Roots[0]
+	if root.K != 1 || root.SubtreeCells != 6 || len(root.Children) != 1 {
+		t.Fatalf("root = {K:%d cells:%d children:%d}", root.K, root.SubtreeCells, len(root.Children))
+	}
+	child := root.Children[0]
+	if child.K != 2 || child.SubtreeCells != 3 {
+		t.Fatalf("child = {K:%d cells:%d}", child.K, child.SubtreeCells)
+	}
+	vs := f.Vertices(child)
+	if len(vs) != 3 || vs[0] != 1 || vs[1] != 2 || vs[2] != 3 {
+		t.Fatalf("child vertices = %v, want [1 2 3]", vs)
+	}
+}
+
+// TestNestingInvariant: along every root-to-leaf path, K strictly
+// increases, every cell appears exactly once in the forest, and the κ of
+// the cells stored at a node equals the node's K.
+func TestNestingInvariant(t *testing.T) {
+	quickGraphs(t, func(g *graph.Graph) bool {
+		inst := nucleus.NewCore(g)
+		kappa := peel.Run(inst).Kappa
+		f := Build(inst, kappa)
+		seen := make(map[int32]bool)
+		ok := true
+		var walk func(n *Node, parentK int32)
+		walk = func(n *Node, parentK int32) {
+			if n.K <= parentK {
+				ok = false
+			}
+			for _, c := range n.Cells {
+				if seen[c] || kappa[c] != n.K {
+					ok = false
+				}
+				seen[c] = true
+			}
+			for _, ch := range n.Children {
+				walk(ch, n.K)
+			}
+		}
+		for _, r := range f.Roots {
+			walk(r, -1)
+		}
+		return ok && len(seen) == inst.NumCells()
+	})
+}
+
+// TestComponentsInvariant: the number of roots equals the number of
+// connected components containing at least one cell (for (1,2): all
+// vertices).
+func TestComponentsInvariant(t *testing.T) {
+	quickGraphs(t, func(g *graph.Graph) bool {
+		f, _ := coreForest(g)
+		_, count := g.ConnectedComponents()
+		return len(f.Roots) == count
+	})
+}
+
+func TestTrussHierarchy(t *testing.T) {
+	// Nucleus34Toy under (2,3): the pendant edge gh lies in no triangle, so
+	// it is its own S-connected component (a singleton 0-truss root); the
+	// two dense blocks are triangle-connected through edge cd and form the
+	// second root, whose deepest nucleus is the K5 block (truss 3).
+	g := graph.Nucleus34Toy()
+	inst := nucleus.NewTruss(g)
+	kappa := peel.Run(inst).Kappa
+	f := Build(inst, kappa)
+	if len(f.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(f.Roots))
+	}
+	// Roots are sorted by K ascending: gh singleton first.
+	if f.Roots[0].K != 0 || f.Roots[0].SubtreeCells != 1 {
+		t.Fatalf("pendant root = {K:%d cells:%d}", f.Roots[0].K, f.Roots[0].SubtreeCells)
+	}
+	if f.Roots[1].K != 2 {
+		t.Fatalf("block root K = %d, want 2", f.Roots[1].K)
+	}
+	// Walk to the deepest node; it must be the K5 block's edges.
+	deepest := f.Roots[1]
+	for len(deepest.Children) > 0 {
+		best := deepest.Children[0]
+		for _, c := range deepest.Children {
+			if c.K > best.K {
+				best = c
+			}
+		}
+		deepest = best
+	}
+	if deepest.K != 3 {
+		t.Fatalf("deepest truss K = %d, want 3", deepest.K)
+	}
+	vs := f.Vertices(deepest)
+	want := []uint32{2, 3, 4, 5, 7} // c,d,e,f,h
+	if len(vs) != len(want) {
+		t.Fatalf("deepest vertices = %v, want %v", vs, want)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("deepest vertices = %v, want %v", vs, want)
+		}
+	}
+}
+
+func TestN34HierarchySeparateNuclei(t *testing.T) {
+	// The paper's Figure 3 point: the two dense blocks are separate
+	// 1-(3,4) nuclei, because no 4-clique spans them.
+	g := graph.Nucleus34Toy()
+	inst := nucleus.NewN34(g)
+	kappa := peel.Run(inst).Kappa
+	f := Build(inst, kappa)
+	// Count nodes with K >= 1: the K4 block (κ=1) and the K5 block's
+	// nucleus chain (κ=2).
+	var k1Plus []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.K >= 1 {
+			k1Plus = append(k1Plus, n)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range f.Roots {
+		walk(r)
+	}
+	// The two blocks must appear under different K>=1 subtrees: collect the
+	// top-level K>=1 nodes (those whose parent is K=0 or a root).
+	var tops []*Node
+	var walkTop func(n *Node)
+	walkTop = func(n *Node) {
+		if n.K >= 1 {
+			tops = append(tops, n)
+			return
+		}
+		for _, c := range n.Children {
+			walkTop(c)
+		}
+	}
+	for _, r := range f.Roots {
+		walkTop(r)
+	}
+	if len(tops) != 2 {
+		t.Fatalf("top-level (3,4) nuclei = %d, want 2 (separate blocks)", len(tops))
+	}
+}
+
+func TestDensityIncreasesWithDepth(t *testing.T) {
+	g := graph.CliqueChain(3, 6)
+	f, _ := coreForest(g)
+	root := f.Roots[0]
+	rootDensity := f.Density(g, root)
+	for _, c := range root.Children {
+		if d := f.Density(g, c); d <= rootDensity {
+			t.Fatalf("child density %.3f <= root %.3f", d, rootDensity)
+		}
+		if d := f.Density(g, c); d != 1.0 {
+			t.Fatalf("K6 block density = %.3f, want 1.0", d)
+		}
+	}
+}
+
+func TestPrint(t *testing.T) {
+	g := graph.CliqueChain(2, 4)
+	f, _ := coreForest(g)
+	var buf bytes.Buffer
+	f.Print(&buf, g, 0)
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+	// minSize elides small nuclei.
+	var buf2 bytes.Buffer
+	f.Print(&buf2, g, 1<<30)
+	if buf2.Len() != 0 {
+		t.Fatal("minSize did not elide")
+	}
+}
+
+func TestDensityEdgeCases(t *testing.T) {
+	g := graph.Build(2, [][2]uint32{{0, 1}})
+	inst := nucleus.NewCore(g)
+	f := Build(inst, peel.Run(inst).Kappa)
+	if d := f.Density(g, f.Roots[0]); d != 1.0 {
+		t.Fatalf("single edge density = %v", d)
+	}
+}
+
+func quickGraphs(t *testing.T, pred func(*graph.Graph) bool) {
+	t.Helper()
+	err := quick.Check(func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		m := int(mRaw%100) + 1
+		maxM := n * (n - 1) / 2
+		if m > maxM {
+			m = maxM
+		}
+		return pred(graph.GnM(n, m, seed))
+	}, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(15))})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

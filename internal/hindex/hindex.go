@@ -1,0 +1,119 @@
+// Package hindex implements the H function of the paper (Definition 5):
+// H(K) is the largest h such that at least h elements of K are >= h.
+//
+// Three implementations are provided, mirroring §4.4 of the paper:
+//
+//   - Sort:        the textbook O(n log n) sort-then-scan version,
+//   - Linear:      the O(n) counting version (values above n are clamped
+//     to n since H can never exceed n),
+//   - Preserve:    the incremental heuristic used in non-initial local
+//     iterations — check whether the previous τ can be kept by
+//     counting elements >= τ and stopping at τ of them.
+package hindex
+
+import "sort"
+
+// Sort computes H(K) by sorting a copy of vals in non-increasing order and
+// scanning for the largest h with vals[h-1] >= h.
+func Sort(vals []int32) int32 {
+	if len(vals) == 0 {
+		return 0
+	}
+	cp := append([]int32(nil), vals...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] > cp[j] })
+	h := int32(0)
+	for i, v := range cp {
+		if v >= int32(i+1) {
+			h = int32(i + 1)
+		} else {
+			break
+		}
+	}
+	return h
+}
+
+// Linear computes H(K) in O(n) with a counting array. Values larger than
+// n are treated as n, which cannot change the result.
+func Linear(vals []int32) int32 {
+	n := int32(len(vals))
+	if n == 0 {
+		return 0
+	}
+	cnt := make([]int32, n+1)
+	for _, v := range vals {
+		if v < 0 {
+			continue
+		}
+		if v > n {
+			v = n
+		}
+		cnt[v]++
+	}
+	// Scan down: atLeast accumulates the number of values >= h.
+	atLeast := int32(0)
+	for h := n; h >= 1; h-- {
+		atLeast += cnt[h]
+		if atLeast >= h {
+			return h
+		}
+	}
+	return 0
+}
+
+// Accumulator computes H(K) in a single streaming pass without retaining
+// the value list, as described in §4.4: keep the running h, the count of
+// items equal to h, and a small table of counts above h.
+type Accumulator struct {
+	h int32
+	// above[i] counts items seen with value exactly h+1+i; the table grows
+	// on demand and shifts left when h is promoted.
+	above []int32
+	total int32 // running sum of above (items with value > h)
+}
+
+// Add feeds one value into the accumulator.
+func (a *Accumulator) Add(v int32) {
+	if v <= a.h {
+		return // cannot help increase h
+	}
+	// v > h: it supports a future h of at least h+1.
+	idx := v - a.h - 1
+	if int(idx) >= len(a.above) {
+		grown := make([]int32, idx+1)
+		copy(grown, a.above)
+		a.above = grown
+	}
+	a.above[idx]++
+	a.total++
+	if a.total >= a.h+1 {
+		// Promote h by one: items of value exactly h+1 drop out of `above`
+		// (they support the new h but not any larger one).
+		a.h++
+		a.total -= a.above[0]
+		a.above = a.above[1:]
+	}
+}
+
+// H returns the current h-index of the values added so far.
+func (a *Accumulator) H() int32 { return a.h }
+
+// Preserve reports whether the previous index tau is preserved by the value
+// stream vals: it returns (tau, true) as soon as tau values >= tau have been
+// seen — the early-exit heuristic of §4.4 — and (H(vals), false) when the
+// stream is exhausted without reaching tau supports, in which case the
+// h-index must be recomputed (done here in the same pass data).
+func Preserve(tau int32, vals []int32) (int32, bool) {
+	if tau <= 0 {
+		return 0, true
+	}
+	support := int32(0)
+	for _, v := range vals {
+		if v >= tau {
+			support++
+			if support >= tau {
+				return tau, true
+			}
+		}
+	}
+	return Linear(vals), false
+}

@@ -1,0 +1,486 @@
+// Package localhi implements the paper's local algorithms: Snd (Algorithm 2,
+// synchronous nucleus decomposition) and And (Algorithm 3, asynchronous
+// nucleus decomposition with the notification mechanism of §4.2.1). Both
+// iterate h-index computations on the s-degrees of cells until the τ indices
+// converge to the κ indices (Theorem 3 / Lemma 2).
+//
+// The algorithms work against any nucleus.Instance, so the same code
+// computes k-core (1,2), k-truss (2,3), the (3,4) nucleus, and the generic
+// hypergraph instance. Both algorithms are parallel: cells are distributed
+// to workers with either static (contiguous chunk) or dynamic (work
+// stealing via a shared cursor) scheduling, mirroring the OpenMP discussion
+// in §4.4.
+package localhi
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nucleus/internal/hindex"
+	"nucleus/internal/nucleus"
+)
+
+// Scheduling selects how sweep work is distributed over workers.
+type Scheduling int
+
+const (
+	// Dynamic hands each idle worker the next chunk of cells (OpenMP
+	// "dynamic"); the paper's choice, robust to notification-induced load
+	// imbalance.
+	Dynamic Scheduling = iota
+	// Static pre-splits cells into one contiguous chunk per worker (OpenMP
+	// "static").
+	Static
+)
+
+// Options configures a local decomposition run.
+type Options struct {
+	// Threads is the worker count; values <= 1 run sequentially.
+	Threads int
+	// MaxSweeps bounds the number of sweeps; 0 means run to convergence.
+	// A bounded run returns the intermediate τ, which is a valid
+	// approximation (Theorem 1: τ ≥ κ pointwise, non-increasing).
+	MaxSweeps int
+	// Order is the cell processing order for And; nil means 0..n-1.
+	// Per Theorem 4, processing in the peeling order (non-decreasing final
+	// κ with peeling tie-breaks, e.g. peel.Result.Order) converges in a
+	// single iteration.
+	Order []int32
+	// Notification enables the plateau-skipping wakeup mechanism (§4.2.1);
+	// only meaningful for And.
+	Notification bool
+	// Scheduling selects Static or Dynamic chunking for parallel sweeps.
+	Scheduling Scheduling
+	// ChunkSize is the dynamic scheduling grain; 0 means 64.
+	ChunkSize int
+	// OnSweep, when non-nil, is invoked after every sweep with the sweep
+	// index (1-based) and the current τ array (read-only; valid only for
+	// the duration of the call).
+	OnSweep func(sweep int, tau []int32)
+	// Subset, when non-nil, restricts recomputation to the listed cells
+	// (query-driven processing, §1.2); all other cells keep τ = their
+	// s-degree.
+	Subset []int32
+	// Preserve enables the §4.4 early-exit heuristic: while recomputing a
+	// cell, stop enumerating s-cliques as soon as τ of them have ρ >= τ —
+	// the current index is then certainly preserved. Sound because τ only
+	// decreases: H of the full list can never exceed the current τ.
+	Preserve bool
+	// InitialTau, when non-nil, seeds τ instead of the s-degrees. Lemma 2
+	// holds for any start that is pointwise >= κ, so a tight warm start
+	// (e.g. the κ of a slightly older version of the graph, bumped by the
+	// number of edits) converges in far fewer sweeps. The slice is copied.
+	// Values above a cell's s-degree are clamped to it (H can never exceed
+	// the s-clique count, so the clamp is free and keeps Preserve sound).
+	InitialTau []int32
+}
+
+// Result reports the outcome of a local decomposition run.
+type Result struct {
+	// Tau holds the final τ indices; equal to κ when Converged.
+	Tau []int32
+	// Iterations counts sweeps that updated at least one τ index. This
+	// matches the paper's iteration counts (e.g. SND on the Figure 2 toy
+	// graph takes 2 iterations).
+	Iterations int
+	// Sweeps counts all sweeps performed, including the final no-change
+	// sweep that detects convergence and any verification sweeps.
+	Sweeps int
+	// Converged reports whether τ = κ was certified.
+	Converged bool
+	// Updates is the total number of τ decrements applied.
+	Updates int64
+	// SkippedCells counts cell visits avoided by the notification
+	// mechanism.
+	SkippedCells int64
+	// WorkVisits counts s-clique visits performed (the dominant cost).
+	WorkVisits int64
+	// SweepUpdates[i] is the number of τ decrements in sweep i+1. The
+	// update rate decays toward zero as τ approaches κ, giving a
+	// ground-truth-free convergence signal for accuracy/runtime decisions
+	// (the quality metric of the paper's §1.2).
+	SweepUpdates []int64
+}
+
+// UpdateRate returns SweepUpdates[sweep-1] divided by the cell count: the
+// fraction of cells still changing in that sweep (1-based).
+func (r *Result) UpdateRate(sweep int, cells int) float64 {
+	if sweep < 1 || sweep > len(r.SweepUpdates) || cells == 0 {
+		return 0
+	}
+	return float64(r.SweepUpdates[sweep-1]) / float64(cells)
+}
+
+func (o Options) threads() int {
+	if o.Threads <= 0 {
+		return 1
+	}
+	return o.Threads
+}
+
+func (o Options) chunk() int {
+	if o.ChunkSize <= 0 {
+		return 64
+	}
+	return o.ChunkSize
+}
+
+// Snd runs the synchronous algorithm: every sweep computes τ_{t+1} for all
+// cells from the frozen τ_t of the previous sweep (Jacobi iteration).
+func Snd(inst nucleus.Instance, opts Options) *Result {
+	n := inst.NumCells()
+	tau := initialTau(inst, opts)
+	prev := make([]int32, n)
+	res := &Result{}
+	cells := sweepCells(n, opts)
+
+	for {
+		copy(prev, tau)
+		var updates, visits int64
+		parallelFor(len(cells), opts, func(lo, hi int, buf *[]int32) (int64, int64) {
+			var upd, vis int64
+			for i := lo; i < hi; i++ {
+				c := cells[i]
+				var h int32
+				var v int64
+				if opts.Preserve {
+					h, v = computeTauPreserve(inst, c, prev, buf, prev[c], false)
+				} else {
+					h, v = computeTau(inst, c, prev, buf)
+				}
+				vis += v
+				if h != prev[c] {
+					upd++
+				}
+				tau[c] = h
+			}
+			return upd, vis
+		}, &updates, &visits)
+		res.Sweeps++
+		res.WorkVisits += visits
+		res.SweepUpdates = append(res.SweepUpdates, updates)
+		if updates > 0 {
+			res.Iterations++
+			res.Updates += updates
+		}
+		if opts.OnSweep != nil {
+			opts.OnSweep(res.Sweeps, tau)
+		}
+		if updates == 0 {
+			res.Converged = true
+			break
+		}
+		if opts.MaxSweeps > 0 && res.Sweeps >= opts.MaxSweeps {
+			break
+		}
+	}
+	res.Tau = tau
+	return res
+}
+
+// And runs the asynchronous algorithm: cells read the freshest available τ
+// values (Gauss–Seidel iteration), optionally skipping cells whose
+// neighborhood is unchanged (notification mechanism).
+func And(inst nucleus.Instance, opts Options) *Result {
+	n := inst.NumCells()
+	tau := initialTau(inst, opts)
+	res := &Result{}
+	cells := sweepCells(n, opts)
+	par := opts.threads() > 1
+
+	var active []int32
+	if opts.Notification {
+		active = make([]int32, n)
+		for _, c := range cells {
+			active[c] = 1
+		}
+	}
+
+	runSweep := func(ignoreFlags bool) (updates int64) {
+		var visits, skipped int64
+		parallelFor(len(cells), opts, func(lo, hi int, buf *[]int32) (int64, int64) {
+			var upd, vis int64
+			for i := lo; i < hi; i++ {
+				c := cells[i]
+				if active != nil && !ignoreFlags {
+					if atomic.LoadInt32(&active[c]) == 0 {
+						atomic.AddInt64(&skipped, 1)
+						continue
+					}
+					// Clear before computing: a notification that arrives
+					// mid-compute is preserved for the next sweep, so no
+					// wakeup is lost.
+					atomic.StoreInt32(&active[c], 0)
+				}
+				var h int32
+				var v int64
+				switch {
+				case opts.Preserve:
+					h, v = computeTauPreserve(inst, c, tau, buf, loadTau(par, tau, c), par)
+				case par:
+					h, v = computeTauAtomic(inst, c, tau, buf)
+				default:
+					h, v = computeTau(inst, c, tau, buf)
+				}
+				vis += v
+				old := loadTau(par, tau, c)
+				if h < old {
+					storeTau(par, tau, c, h)
+					upd++
+					if active != nil {
+						inst.VisitNeighbors(c, func(d int32) bool {
+							atomic.StoreInt32(&active[d], 1)
+							return true
+						})
+					}
+				}
+			}
+			return upd, vis
+		}, &updates, &visits)
+		res.Sweeps++
+		res.WorkVisits += visits
+		res.SkippedCells += skipped
+		res.SweepUpdates = append(res.SweepUpdates, updates)
+		if updates > 0 {
+			res.Iterations++
+			res.Updates += updates
+		}
+		if opts.OnSweep != nil {
+			opts.OnSweep(res.Sweeps, tau)
+		}
+		return updates
+	}
+
+	for {
+		updates := runSweep(false)
+		if updates == 0 {
+			if active != nil {
+				// Certify the fixpoint with one full sweep that ignores the
+				// notification flags; in the benign-race worst case this
+				// degenerates to a synchronous sweep (§4.2.1).
+				if runSweep(true) == 0 {
+					res.Converged = true
+					break
+				}
+				continue
+			}
+			res.Converged = true
+			break
+		}
+		if opts.MaxSweeps > 0 && res.Sweeps >= opts.MaxSweeps {
+			break
+		}
+	}
+	res.Tau = tau
+	return res
+}
+
+// computeTau evaluates the update operator U for cell c against the given τ
+// array: H over { min τ(co-members of S) : S ∋ c }. Returns the new value
+// and the number of s-clique visits.
+func computeTau(inst nucleus.Instance, c int32, tau []int32, buf *[]int32) (int32, int64) {
+	vals := (*buf)[:0]
+	var visits int64
+	inst.VisitSCliques(c, func(others []int32) bool {
+		rho := int32(math.MaxInt32)
+		for _, d := range others {
+			if tau[d] < rho {
+				rho = tau[d]
+			}
+		}
+		vals = append(vals, rho)
+		visits++
+		return true
+	})
+	*buf = vals
+	return hindex.Linear(vals), visits
+}
+
+// computeTauAtomic is computeTau with atomic reads, for concurrent And
+// sweeps where other workers may be lowering τ entries. Stale (higher)
+// reads are benign: τ stays an upper bound of κ (Theorem 1) and later
+// sweeps repair them.
+func computeTauAtomic(inst nucleus.Instance, c int32, tau []int32, buf *[]int32) (int32, int64) {
+	vals := (*buf)[:0]
+	var visits int64
+	inst.VisitSCliques(c, func(others []int32) bool {
+		rho := int32(math.MaxInt32)
+		for _, d := range others {
+			if v := atomic.LoadInt32(&tau[d]); v < rho {
+				rho = v
+			}
+		}
+		vals = append(vals, rho)
+		visits++
+		return true
+	})
+	*buf = vals
+	return hindex.Linear(vals), visits
+}
+
+// computeTauPreserve is computeTau with the §4.4 early-exit: once cur
+// s-cliques with ρ >= cur have been seen, the current index is preserved
+// and enumeration stops. Monotonicity makes this sound — the h-index of
+// the full ρ list cannot exceed cur, and cur supports certify it equals
+// cur. Cells already at zero skip enumeration entirely.
+func computeTauPreserve(inst nucleus.Instance, c int32, tau []int32, buf *[]int32, cur int32, par bool) (int32, int64) {
+	if cur <= 0 {
+		return 0, 0
+	}
+	vals := (*buf)[:0]
+	var visits int64
+	support := int32(0)
+	preserved := false
+	inst.VisitSCliques(c, func(others []int32) bool {
+		rho := int32(math.MaxInt32)
+		for _, d := range others {
+			var v int32
+			if par {
+				v = atomic.LoadInt32(&tau[d])
+			} else {
+				v = tau[d]
+			}
+			if v < rho {
+				rho = v
+			}
+		}
+		visits++
+		if rho >= cur {
+			support++
+			if support >= cur {
+				preserved = true
+				return false
+			}
+		}
+		vals = append(vals, rho)
+		return true
+	})
+	*buf = vals
+	if preserved {
+		return cur, visits
+	}
+	return hindex.Linear(vals), visits
+}
+
+func loadTau(par bool, tau []int32, c int32) int32 {
+	if par {
+		return atomic.LoadInt32(&tau[c])
+	}
+	return tau[c]
+}
+
+func storeTau(par bool, tau []int32, c int32, v int32) {
+	if par {
+		atomic.StoreInt32(&tau[c], v)
+		return
+	}
+	tau[c] = v
+}
+
+// initialTau builds the starting τ array: the s-degrees, or the caller's
+// warm start clamped to them.
+func initialTau(inst nucleus.Instance, opts Options) []int32 {
+	tau := inst.Degrees()
+	if opts.InitialTau == nil {
+		return tau
+	}
+	if len(opts.InitialTau) != len(tau) {
+		panic("localhi: InitialTau length mismatch")
+	}
+	for i, v := range opts.InitialTau {
+		if v < tau[i] {
+			tau[i] = v
+		}
+	}
+	return tau
+}
+
+// sweepCells resolves the cell visit order for a run.
+func sweepCells(n int, opts Options) []int32 {
+	if opts.Subset != nil {
+		return opts.Subset
+	}
+	if opts.Order != nil {
+		return opts.Order
+	}
+	cells := make([]int32, n)
+	for i := range cells {
+		cells[i] = int32(i)
+	}
+	return cells
+}
+
+// parallelFor executes body over [0,n) split across opts.threads() workers,
+// accumulating the two int64 outputs of each body invocation into updates
+// and visits. Sequential when a single thread is requested.
+func parallelFor(n int, opts Options, body func(lo, hi int, buf *[]int32) (int64, int64), updates, visits *int64) {
+	t := opts.threads()
+	if t > n {
+		t = n
+	}
+	if t <= 1 {
+		buf := make([]int32, 0, 64)
+		u, v := body(0, n, &buf)
+		*updates += u
+		*visits += v
+		return
+	}
+	var wg sync.WaitGroup
+	var uTotal, vTotal int64
+	switch opts.Scheduling {
+	case Static:
+		per := (n + t - 1) / t
+		for w := 0; w < t; w++ {
+			lo := w * per
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				buf := make([]int32, 0, 64)
+				u, v := body(lo, hi, &buf)
+				atomic.AddInt64(&uTotal, u)
+				atomic.AddInt64(&vTotal, v)
+			}(lo, hi)
+		}
+	default: // Dynamic
+		chunk := opts.chunk()
+		var cursor int64
+		for w := 0; w < t; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := make([]int32, 0, 64)
+				var u, v int64
+				for {
+					lo := int(atomic.AddInt64(&cursor, int64(chunk))) - chunk
+					if lo >= n {
+						break
+					}
+					hi := lo + chunk
+					if hi > n {
+						hi = n
+					}
+					du, dv := body(lo, hi, &buf)
+					u += du
+					v += dv
+				}
+				atomic.AddInt64(&uTotal, u)
+				atomic.AddInt64(&vTotal, v)
+			}()
+		}
+	}
+	wg.Wait()
+	*updates += uTotal
+	*visits += vTotal
+}
+
+// DefaultThreads returns a sensible worker count for parallel runs.
+func DefaultThreads() int { return runtime.GOMAXPROCS(0) }

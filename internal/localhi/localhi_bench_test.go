@@ -1,0 +1,61 @@
+package localhi
+
+import (
+	"testing"
+
+	"nucleus/internal/graph"
+	"nucleus/internal/nucleus"
+	"nucleus/internal/peel"
+)
+
+func benchTrussInstance() nucleus.Instance {
+	return nucleus.NewTruss(graph.PlantedCommunities(20, 80, 0.35, 1500, 42))
+}
+
+func BenchmarkSndTruss(b *testing.B) {
+	inst := benchTrussInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Snd(inst, Options{})
+	}
+}
+
+func BenchmarkAndTruss(b *testing.B) {
+	inst := benchTrussInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		And(inst, Options{})
+	}
+}
+
+func BenchmarkAndTrussNotification(b *testing.B) {
+	inst := benchTrussInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		And(inst, Options{Notification: true})
+	}
+}
+
+func BenchmarkAndTrussNotifPreserve(b *testing.B) {
+	inst := benchTrussInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		And(inst, Options{Notification: true, Preserve: true})
+	}
+}
+
+func BenchmarkPeelTruss(b *testing.B) {
+	inst := benchTrussInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		peel.Run(inst)
+	}
+}
+
+func BenchmarkAndBudget3(b *testing.B) {
+	inst := benchTrussInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		And(inst, Options{MaxSweeps: 3})
+	}
+}

@@ -1,0 +1,81 @@
+package localhi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nucleus/internal/graph"
+	"nucleus/internal/nucleus"
+	"nucleus/internal/peel"
+)
+
+// TestPreserveExactness: the §4.4 early-exit heuristic must not change the
+// fixpoint for any algorithm or instance.
+func TestPreserveExactness(t *testing.T) {
+	err := quick.Check(func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%25) + 4
+		m := int(mRaw%110) + 1
+		if maxM := n * (n - 1) / 2; m > maxM {
+			m = maxM
+		}
+		g := graph.GnM(n, m, seed)
+		for _, inst := range []nucleus.Instance{nucleus.NewCore(g), nucleus.NewTruss(g)} {
+			want := peel.Run(inst).Kappa
+			for _, res := range []*Result{
+				Snd(inst, Options{Preserve: true}),
+				And(inst, Options{Preserve: true}),
+				And(inst, Options{Preserve: true, Notification: true}),
+			} {
+				if !equalInt32(res.Tau, want) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(18))})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreserveSavesVisits: on a plateau-heavy graph the early exit must cut
+// the number of s-clique visits.
+func TestPreserveSavesVisits(t *testing.T) {
+	g := graph.PowerLawCluster(800, 6, 0.5, 61)
+	inst := nucleus.NewTruss(g)
+	plain := And(inst, Options{Notification: true})
+	fast := And(inst, Options{Notification: true, Preserve: true})
+	if !equalInt32(plain.Tau, fast.Tau) {
+		t.Fatal("preserve changed the fixpoint")
+	}
+	if fast.WorkVisits >= plain.WorkVisits {
+		t.Errorf("preserve saved nothing: %d vs %d visits", fast.WorkVisits, plain.WorkVisits)
+	}
+}
+
+// TestPreserveParallel: exactness holds under concurrent sweeps.
+func TestPreserveParallel(t *testing.T) {
+	g := graph.PowerLawCluster(400, 5, 0.4, 63)
+	inst := nucleus.NewTruss(g)
+	want := peel.Run(inst).Kappa
+	res := And(inst, Options{Threads: 4, Notification: true, Preserve: true})
+	if !equalInt32(res.Tau, want) {
+		t.Fatal("parallel preserve wrong")
+	}
+}
+
+// TestPreserveZeroCells: cells at τ=0 skip enumeration entirely.
+func TestPreserveZeroCells(t *testing.T) {
+	g := graph.Star(6) // no triangles: all truss τ0 = 0
+	inst := nucleus.NewTruss(g)
+	res := And(inst, Options{Preserve: true})
+	if res.WorkVisits != 0 {
+		t.Fatalf("zero cells still visited %d s-cliques", res.WorkVisits)
+	}
+	for _, v := range res.Tau {
+		if v != 0 {
+			t.Fatal("wrong fixpoint")
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package nucleus
+
+// Materialized wraps any instance with precomputed, flattened s-clique
+// membership lists. The paper's §5 notes the trade-off: materializing the
+// hypergraph removes the repeated adjacency intersections of the
+// on-the-fly instances but requires storing every s-clique — infeasible
+// for the largest graphs, profitable below that. Materialize lets callers
+// (and the ablation benchmarks) pick per workload.
+type Materialized struct {
+	base Instance
+	// memberships[c] holds the co-member groups of every s-clique of c,
+	// flattened in groups of groupSize[c] entries... group sizes are
+	// constant per instance (len(others) is fixed by (r,s)), recorded once.
+	memberships [][]int32
+	groupSize   int
+	degrees     []int32
+}
+
+// Materialize walks every cell's s-cliques once and stores the co-member
+// lists for O(1) re-iteration.
+func Materialize(base Instance) *Materialized {
+	n := base.NumCells()
+	m := &Materialized{
+		base:        base,
+		memberships: make([][]int32, n),
+		degrees:     base.Degrees(),
+	}
+	for c := 0; c < n; c++ {
+		cc := int32(c)
+		var flat []int32
+		base.VisitSCliques(cc, func(others []int32) bool {
+			if m.groupSize == 0 {
+				m.groupSize = len(others)
+			}
+			flat = append(flat, others...)
+			return true
+		})
+		m.memberships[c] = flat
+	}
+	if m.groupSize == 0 {
+		m.groupSize = 1 // degenerate: no s-cliques anywhere
+	}
+	return m
+}
+
+func (m *Materialized) R() int        { return m.base.R() }
+func (m *Materialized) S() int        { return m.base.S() }
+func (m *Materialized) NumCells() int { return len(m.memberships) }
+
+func (m *Materialized) Degrees() []int32 {
+	return append([]int32(nil), m.degrees...)
+}
+
+func (m *Materialized) VisitSCliques(c int32, fn func(others []int32) bool) {
+	mem := m.memberships[c]
+	gs := m.groupSize
+	for i := 0; i+gs <= len(mem); i += gs {
+		if !fn(mem[i : i+gs]) {
+			return
+		}
+	}
+}
+
+func (m *Materialized) VisitNeighbors(c int32, fn func(int32) bool) {
+	for _, d := range m.memberships[c] {
+		if !fn(d) {
+			return
+		}
+	}
+}
+
+func (m *Materialized) CellVertices(c int32, buf []uint32) []uint32 {
+	return m.base.CellVertices(c, buf)
+}
+
+func (m *Materialized) CellLabel(c int32) string { return m.base.CellLabel(c) }
+
+// MemoryCells returns the total number of stored co-member entries, the
+// measure of the materialization's memory cost.
+func (m *Materialized) MemoryCells() int64 {
+	var total int64
+	for _, mem := range m.memberships {
+		total += int64(len(mem))
+	}
+	return total
+}

@@ -1,0 +1,89 @@
+package nucleus
+
+import (
+	"testing"
+
+	"nucleus/internal/graph"
+)
+
+func TestMaterializedMatchesBase(t *testing.T) {
+	g := graph.PlantedCommunities(3, 12, 0.5, 20, 71)
+	for _, base := range []Instance{NewCore(g), NewTruss(g), NewN34(g)} {
+		m := Materialize(base)
+		if m.R() != base.R() || m.S() != base.S() || m.NumCells() != base.NumCells() {
+			t.Fatalf("(%d,%d): shape mismatch", base.R(), base.S())
+		}
+		bd, md := base.Degrees(), m.Degrees()
+		for c := range bd {
+			if bd[c] != md[c] {
+				t.Fatalf("(%d,%d) cell %d: degree %d vs %d", base.R(), base.S(), c, bd[c], md[c])
+			}
+		}
+		for c := int32(0); c < int32(base.NumCells()); c++ {
+			var baseGroups, matGroups [][]int32
+			base.VisitSCliques(c, func(o []int32) bool {
+				baseGroups = append(baseGroups, append([]int32(nil), o...))
+				return true
+			})
+			m.VisitSCliques(c, func(o []int32) bool {
+				matGroups = append(matGroups, append([]int32(nil), o...))
+				return true
+			})
+			if len(baseGroups) != len(matGroups) {
+				t.Fatalf("cell %d: group count %d vs %d", c, len(baseGroups), len(matGroups))
+			}
+			for i := range baseGroups {
+				for j := range baseGroups[i] {
+					if baseGroups[i][j] != matGroups[i][j] {
+						t.Fatalf("cell %d group %d differs", c, i)
+					}
+				}
+			}
+			if m.CellLabel(c) != base.CellLabel(c) {
+				t.Fatalf("label mismatch at %d", c)
+			}
+		}
+	}
+}
+
+func TestMaterializedEarlyStop(t *testing.T) {
+	g := graph.Complete(6)
+	m := Materialize(NewTruss(g))
+	count := 0
+	m.VisitSCliques(0, func([]int32) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop ignored: %d", count)
+	}
+	count = 0
+	m.VisitNeighbors(0, func(int32) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("neighbor early stop ignored: %d", count)
+	}
+}
+
+func TestMaterializedMemory(t *testing.T) {
+	g := graph.Complete(5)
+	m := Materialize(NewTruss(g))
+	// K5: 10 edges × 3 triangles × 2 co-members = 60 entries.
+	if got := m.MemoryCells(); got != 60 {
+		t.Fatalf("memory cells = %d, want 60", got)
+	}
+}
+
+func TestMaterializedEmpty(t *testing.T) {
+	g := graph.Path(5) // no triangles
+	m := Materialize(NewTruss(g))
+	if m.NumCells() != 4 {
+		t.Fatalf("cells = %d", m.NumCells())
+	}
+	m.VisitSCliques(0, func([]int32) bool {
+		t.Fatal("visited s-clique on triangle-free graph")
+		return false
+	})
+}

@@ -1,0 +1,77 @@
+package peel
+
+import (
+	"nucleus/internal/nucleus"
+)
+
+// LevelsResult describes the degree levels of Definition 7.
+type LevelsResult struct {
+	// Level[c] is the level index of cell c.
+	Level []int32
+	// Count is the number of levels ℓ; by Theorem 3 the local algorithms
+	// converge within ℓ iterations (cells in level i converge within i).
+	Count int
+	// Sizes[i] is |L_i|.
+	Sizes []int
+}
+
+// Levels computes the degree levels: L_0 is the set of cells of minimum
+// s-degree; L_i is the set of cells of minimum s-degree once all earlier
+// levels (and the s-cliques touching them) are removed. All cells of a
+// level are removed simultaneously.
+func Levels(inst nucleus.Instance) *LevelsResult {
+	n := inst.NumCells()
+	deg := inst.Degrees()
+	level := make([]int32, n)
+	for i := range level {
+		level[i] = -1
+	}
+	remaining := n
+	res := &LevelsResult{Level: level}
+	cur := make([]int32, 0, n)
+	for remaining > 0 {
+		// Find the minimum degree among remaining cells.
+		min := int32(-1)
+		for c := 0; c < n; c++ {
+			if level[c] < 0 && (min < 0 || deg[c] < min) {
+				min = deg[c]
+			}
+		}
+		cur = cur[:0]
+		for c := 0; c < n; c++ {
+			if level[c] < 0 && deg[c] == min {
+				cur = append(cur, int32(c))
+			}
+		}
+		li := int32(res.Count)
+		for _, c := range cur {
+			level[c] = li
+		}
+		// Remove the level: an s-clique dies when its first member leaves.
+		// Attribute each dying s-clique to exactly one of its members in
+		// this level — the one with the smallest cell id — so surviving
+		// members are decremented exactly once per s-clique.
+		for _, c := range cur {
+			inst.VisitSCliques(c, func(others []int32) bool {
+				for _, d := range others {
+					if level[d] >= 0 && level[d] < li {
+						return true // already destroyed by an earlier level
+					}
+					if level[d] == li && d < c {
+						return true // attributed to the smaller member
+					}
+				}
+				for _, d := range others {
+					if level[d] < 0 {
+						deg[d]--
+					}
+				}
+				return true
+			})
+		}
+		res.Sizes = append(res.Sizes, len(cur))
+		remaining -= len(cur)
+		res.Count++
+	}
+	return res
+}

@@ -1,0 +1,128 @@
+// Package peel implements the paper's Algorithm 1: the global bucket-based
+// peeling algorithm that computes exact κ indices for any (r,s) nucleus
+// instance, generalizing Batagelj–Zaversnik k-core peeling and the k-truss
+// peeling of Cohen. It also computes the degree levels of Definition 7,
+// whose count upper-bounds the iteration count of the local algorithms
+// (Theorem 3).
+package peel
+
+import (
+	"nucleus/internal/nucleus"
+)
+
+// Result carries the exact decomposition produced by Run.
+type Result struct {
+	// Kappa[c] is the κ index of cell c.
+	Kappa []int32
+	// Order lists cells in the order they were peeled (non-decreasing κ).
+	Order []int32
+	// MaxKappa is the largest κ index (the degeneracy of the instance).
+	MaxKappa int32
+}
+
+// Run peels the instance: repeatedly process an unprocessed cell of minimum
+// current s-degree, record its κ, and decrement the degrees of co-members
+// of its still-unprocessed s-cliques.
+func Run(inst nucleus.Instance) *Result {
+	n := inst.NumCells()
+	deg := inst.Degrees()
+	q := newBucketQueue(deg)
+	kappa := make([]int32, n)
+	order := make([]int32, 0, n)
+	processed := make([]bool, n)
+	res := &Result{}
+	// k tracks the running maximum of processed degrees: κ values are
+	// non-decreasing along the peeling order even when a decremented cell
+	// dips below an earlier minimum.
+	k := int32(0)
+	for i := 0; i < n; i++ {
+		c := q.popMin()
+		if deg[c] > k {
+			k = deg[c]
+		}
+		kappa[c] = k
+		processed[c] = true
+		order = append(order, c)
+		inst.VisitSCliques(c, func(others []int32) bool {
+			for _, d := range others {
+				if processed[d] {
+					return true // this s-clique was already destroyed
+				}
+			}
+			for _, d := range others {
+				if deg[d] > k {
+					deg[d]--
+					q.decrease(d, deg[d])
+				}
+			}
+			return true
+		})
+	}
+	res.Kappa = kappa
+	res.Order = order
+	res.MaxKappa = k
+	return res
+}
+
+// bucketQueue is a bucket priority queue over cells keyed by their current
+// degree. It uses lazy deletion: decrease-key appends the cell to its new
+// bucket and stale entries are discarded on pop by validating against the
+// live degree array. Total enqueued entries are bounded by the number of
+// degree decrements, which the peeling work already pays for.
+type bucketQueue struct {
+	buckets [][]int32
+	cur     int32 // lowest possibly non-empty bucket
+	deg     []int32
+	popped  []bool
+}
+
+func newBucketQueue(deg []int32) *bucketQueue {
+	maxD := int32(0)
+	for _, d := range deg {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	q := &bucketQueue{
+		buckets: make([][]int32, maxD+1),
+		deg:     deg,
+		popped:  make([]bool, len(deg)),
+	}
+	for c, d := range deg {
+		q.buckets[d] = append(q.buckets[d], int32(c))
+	}
+	return q
+}
+
+// popMin removes and returns an unprocessed cell of minimum current degree.
+// It must only be called while unprocessed cells remain.
+func (q *bucketQueue) popMin() int32 {
+	for {
+		if int(q.cur) >= len(q.buckets) {
+			panic("peel: popMin on empty queue")
+		}
+		b := q.buckets[q.cur]
+		if len(b) == 0 {
+			q.cur++
+			continue
+		}
+		c := b[len(b)-1]
+		q.buckets[q.cur] = b[:len(b)-1]
+		if q.popped[c] || q.deg[c] != q.cur {
+			continue // stale entry
+		}
+		q.popped[c] = true
+		return c
+	}
+}
+
+// decrease records that cell c now has degree newDeg.
+func (q *bucketQueue) decrease(c int32, newDeg int32) {
+	if q.popped[c] {
+		return
+	}
+	q.buckets[newDeg] = append(q.buckets[newDeg], c)
+	if newDeg < q.cur {
+		q.cur = newDeg
+	}
+}

@@ -1,0 +1,89 @@
+// Package query implements the paper's query-driven scenario (§1.2, §5):
+// estimating the core or truss numbers of a handful of query cells without
+// decomposing the whole graph. The local algorithms make this possible
+// because the update of a cell only reads its s-clique co-members: running
+// the iterations on the cells within h hops of the queries — everything
+// else frozen at τ0 = its s-degree — produces an upper-bound estimate that
+// tightens as h grows (by Theorem 1, τ never drops below κ).
+package query
+
+import (
+	"nucleus/internal/graph"
+	"nucleus/internal/localhi"
+	"nucleus/internal/nucleus"
+)
+
+// Estimate holds a query-driven estimation result.
+type Estimate struct {
+	// Tau[i] is the estimated κ of the i-th query cell.
+	Tau []int32
+	// ActiveCells is the number of cells the computation touched.
+	ActiveCells int
+	// Result is the underlying bounded local run.
+	Result *localhi.Result
+}
+
+// CoreNumbers estimates κ₂ for the query vertices using the cells within
+// `hops` BFS hops and at most maxSweeps local iterations (0 = until the
+// restricted computation converges).
+func CoreNumbers(g *graph.Graph, queries []uint32, hops, maxSweeps int) *Estimate {
+	inst := nucleus.NewCore(g)
+	region := g.BFSWithin(queries, hops)
+	cells := make([]int32, len(region))
+	for i, v := range region {
+		cells[i] = int32(v)
+	}
+	res := localhi.And(inst, localhi.Options{
+		Subset:       cells,
+		MaxSweeps:    maxSweeps,
+		Notification: true,
+	})
+	out := &Estimate{ActiveCells: len(cells), Result: res}
+	for _, q := range queries {
+		out.Tau = append(out.Tau, res.Tau[q])
+	}
+	return out
+}
+
+// TrussNumbers estimates κ₃ for the query edges (given as endpoint pairs)
+// using all edges within `hops` hops of either endpoint and at most
+// maxSweeps local iterations.
+func TrussNumbers(g *graph.Graph, queryEdges [][2]uint32, hops, maxSweeps int) *Estimate {
+	inst := nucleus.NewTruss(g)
+	var seeds []uint32
+	for _, e := range queryEdges {
+		seeds = append(seeds, e[0], e[1])
+	}
+	region := g.BFSWithin(seeds, hops)
+	inRegion := make(map[uint32]struct{}, len(region))
+	for _, v := range region {
+		inRegion[v] = struct{}{}
+	}
+	// The cell set is every edge with both endpoints in the region.
+	var cells []int32
+	for _, u := range region {
+		eids := g.EdgeIDs(u)
+		for i, v := range g.Neighbors(u) {
+			if v > u {
+				if _, ok := inRegion[v]; ok {
+					cells = append(cells, int32(eids[i]))
+				}
+			}
+		}
+	}
+	res := localhi.And(inst, localhi.Options{
+		Subset:       cells,
+		MaxSweeps:    maxSweeps,
+		Notification: true,
+	})
+	out := &Estimate{ActiveCells: len(cells), Result: res}
+	for _, e := range queryEdges {
+		id, ok := g.EdgeID(e[0], e[1])
+		if !ok {
+			out.Tau = append(out.Tau, -1)
+			continue
+		}
+		out.Tau = append(out.Tau, res.Tau[id])
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package query
+
+import (
+	"testing"
+
+	"nucleus/internal/graph"
+	"nucleus/internal/nucleus"
+	"nucleus/internal/peel"
+)
+
+func TestCoreNumbersConvergeWithHops(t *testing.T) {
+	g := graph.PowerLawCluster(600, 5, 0.5, 41)
+	kappa := peel.Run(nucleus.NewCore(g)).Kappa
+	queries := []uint32{0, 10, 50, 100, 300}
+
+	prevErr := int64(1 << 40)
+	for _, hops := range []int{0, 1, 2, 4, 8} {
+		est := CoreNumbers(g, queries, hops, 0)
+		var errSum int64
+		for i, q := range queries {
+			if est.Tau[i] < kappa[q] {
+				t.Fatalf("hops=%d: estimate %d below κ %d for vertex %d", hops, est.Tau[i], kappa[q], q)
+			}
+			errSum += int64(est.Tau[i] - kappa[q])
+		}
+		if errSum > prevErr {
+			t.Fatalf("error grew with hops=%d: %d > %d", hops, errSum, prevErr)
+		}
+		prevErr = errSum
+	}
+}
+
+func TestCoreNumbersExactWithFullGraph(t *testing.T) {
+	g := graph.PowerLawCluster(200, 4, 0.5, 43)
+	kappa := peel.Run(nucleus.NewCore(g)).Kappa
+	queries := []uint32{1, 2, 3}
+	// Enough hops to cover the whole graph: estimates become exact.
+	est := CoreNumbers(g, queries, g.N(), 0)
+	for i, q := range queries {
+		if est.Tau[i] != kappa[q] {
+			t.Fatalf("full-graph estimate %d != κ %d for vertex %d", est.Tau[i], kappa[q], q)
+		}
+	}
+	if est.ActiveCells != g.N() {
+		t.Fatalf("active cells = %d, want %d", est.ActiveCells, g.N())
+	}
+}
+
+func TestCoreNumbersZeroHops(t *testing.T) {
+	// hops=0 restricts to the queries themselves: τ = H of neighbor degrees
+	// after one round at most, but never below κ.
+	g := graph.Star(5)
+	est := CoreNumbers(g, []uint32{0}, 0, 0)
+	if est.ActiveCells != 1 {
+		t.Fatalf("active = %d", est.ActiveCells)
+	}
+	// Hub's neighbors all have degree 1 frozen: H({1,1,1,1,1}) = 1 = κ.
+	if est.Tau[0] != 1 {
+		t.Fatalf("hub estimate = %d, want 1", est.Tau[0])
+	}
+}
+
+func TestTrussNumbersUpperBoundAndConvergence(t *testing.T) {
+	g := graph.PlantedCommunities(4, 20, 0.5, 60, 45)
+	inst := nucleus.NewTruss(g)
+	kappa := peel.Run(inst).Kappa
+	// Query a handful of existing edges.
+	var queryEdges [][2]uint32
+	for e := int64(0); e < g.M() && len(queryEdges) < 5; e += g.M() / 5 {
+		u, v := g.Edge(e)
+		queryEdges = append(queryEdges, [2]uint32{u, v})
+	}
+	prevErr := int64(1 << 40)
+	for _, hops := range []int{1, 2, 3} {
+		est := TrussNumbers(g, queryEdges, hops, 0)
+		var errSum int64
+		for i, qe := range queryEdges {
+			id, _ := g.EdgeID(qe[0], qe[1])
+			if est.Tau[i] < kappa[id] {
+				t.Fatalf("hops=%d: estimate below κ", hops)
+			}
+			errSum += int64(est.Tau[i] - kappa[id])
+		}
+		if errSum > prevErr {
+			t.Fatalf("truss estimate error grew with hops")
+		}
+		prevErr = errSum
+	}
+}
+
+func TestTrussNumbersMissingEdge(t *testing.T) {
+	g := graph.Path(4)
+	est := TrussNumbers(g, [][2]uint32{{0, 3}}, 1, 0)
+	if est.Tau[0] != -1 {
+		t.Fatalf("missing edge estimate = %d, want -1", est.Tau[0])
+	}
+}
+
+func TestQueryBudgetedSweeps(t *testing.T) {
+	g := graph.PowerLawCluster(300, 5, 0.5, 47)
+	// One sweep only: still an upper bound.
+	kappa := peel.Run(nucleus.NewCore(g)).Kappa
+	est := CoreNumbers(g, []uint32{5, 6}, 2, 1)
+	for i, q := range []uint32{5, 6} {
+		if est.Tau[i] < kappa[q] {
+			t.Fatalf("budgeted estimate below κ")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package sched models parallel execution deterministically: given per-cell
+// work weights, it computes the makespan achieved by static or dynamic
+// chunk scheduling over T threads. The paper's scalability results (Figure
+// 1b, §4.4) depend on how evenly work spreads across threads — especially
+// once the notification mechanism leaves islands of active cells — and this
+// model reproduces those shapes independent of the host's core count.
+package sched
+
+// Makespan simulates scheduling the work items (in index order) over
+// `threads` workers and returns the finishing time of the last worker.
+//
+// static=true pre-splits items into contiguous equal-count chunks, one per
+// worker (OpenMP "static"). static=false assigns chunks of `chunk` items to
+// the earliest-finishing worker (OpenMP "dynamic").
+func Makespan(work []int64, threads int, static bool, chunk int) int64 {
+	if threads < 1 {
+		threads = 1
+	}
+	if len(work) == 0 {
+		return 0
+	}
+	if static {
+		per := (len(work) + threads - 1) / threads
+		var ms int64
+		for lo := 0; lo < len(work); lo += per {
+			hi := lo + per
+			if hi > len(work) {
+				hi = len(work)
+			}
+			var sum int64
+			for _, w := range work[lo:hi] {
+				sum += w
+			}
+			if sum > ms {
+				ms = sum
+			}
+		}
+		return ms
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	finish := make([]int64, threads)
+	for lo := 0; lo < len(work); lo += chunk {
+		hi := lo + chunk
+		if hi > len(work) {
+			hi = len(work)
+		}
+		var sum int64
+		for _, w := range work[lo:hi] {
+			sum += w
+		}
+		// Assign to the earliest-finishing worker.
+		best := 0
+		for t := 1; t < threads; t++ {
+			if finish[t] < finish[best] {
+				best = t
+			}
+		}
+		finish[best] += sum
+	}
+	var ms int64
+	for _, f := range finish {
+		if f > ms {
+			ms = f
+		}
+	}
+	return ms
+}
+
+// Speedup returns total(work)/makespan for the given configuration: the
+// parallel speedup an ideal machine would achieve.
+func Speedup(work []int64, threads int, static bool, chunk int) float64 {
+	ms := Makespan(work, threads, static, chunk)
+	if ms == 0 {
+		return 1
+	}
+	var total int64
+	for _, w := range work {
+		total += w
+	}
+	return float64(total) / float64(ms)
+}
+
+// PeelingModel models the paper's "partially parallel peeling" baseline
+// (Figure 1b's Peeling-24t): the s-degree computation (clique enumeration)
+// parallelizes, but the peeling loop itself is inherently sequential.
+// It returns the modeled execution time.
+func PeelingModel(enumWork, peelWork int64, threads int) int64 {
+	if threads < 1 {
+		threads = 1
+	}
+	return enumWork/int64(threads) + peelWork
+}
+
+// Imbalance returns makespan/idealTime - 1: zero for a perfectly balanced
+// schedule. idealTime is total/threads.
+func Imbalance(work []int64, threads int, static bool, chunk int) float64 {
+	var total int64
+	for _, w := range work {
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	ideal := float64(total) / float64(threads)
+	ms := float64(Makespan(work, threads, static, chunk))
+	return ms/ideal - 1
+}

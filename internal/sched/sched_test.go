@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakespanSingleThread(t *testing.T) {
+	work := []int64{3, 1, 4, 1, 5}
+	if got := Makespan(work, 1, true, 1); got != 14 {
+		t.Fatalf("static 1-thread makespan = %d", got)
+	}
+	if got := Makespan(work, 1, false, 2); got != 14 {
+		t.Fatalf("dynamic 1-thread makespan = %d", got)
+	}
+}
+
+func TestMakespanStaticImbalance(t *testing.T) {
+	// All heavy work at the front: static splitting leaves thread 0 with
+	// everything that matters.
+	work := []int64{100, 100, 100, 100, 0, 0, 0, 0}
+	if got := Makespan(work, 2, true, 1); got != 400 {
+		t.Fatalf("static makespan = %d, want 400", got)
+	}
+	// Dynamic chunk=1 balances: 400 total over 2 threads = 200.
+	if got := Makespan(work, 2, false, 1); got != 200 {
+		t.Fatalf("dynamic makespan = %d, want 200", got)
+	}
+}
+
+func TestSpeedupBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(16))}
+	err := quick.Check(func(raw []uint8, threadsRaw uint8, chunkRaw uint8, static bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		work := make([]int64, len(raw))
+		for i, r := range raw {
+			work[i] = int64(r)
+		}
+		threads := int(threadsRaw%16) + 1
+		chunk := int(chunkRaw%8) + 1
+		s := Speedup(work, threads, static, chunk)
+		// 1 <= speedup <= threads (within fp tolerance); degenerate all-zero
+		// work reports 1.
+		return s >= 1-1e-9 && s <= float64(threads)+1e-9
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupMonotoneUniformWork(t *testing.T) {
+	work := make([]int64, 10000)
+	for i := range work {
+		work[i] = 10
+	}
+	prev := 0.0
+	for _, th := range []int{1, 2, 4, 8, 16} {
+		s := Speedup(work, th, false, 16)
+		if s < prev {
+			t.Fatalf("speedup decreased at %d threads: %v < %v", th, s, prev)
+		}
+		prev = s
+	}
+	// Uniform work, fine chunks: near-linear.
+	if s := Speedup(work, 8, false, 16); math.Abs(s-8) > 0.5 {
+		t.Fatalf("uniform dynamic speedup at 8 threads = %v", s)
+	}
+}
+
+func TestDynamicBeatsStaticOnSkew(t *testing.T) {
+	// Skewed work concentrated in one region, like converged cells under
+	// the notification mechanism.
+	rng := rand.New(rand.NewSource(17))
+	work := make([]int64, 4096)
+	for i := 0; i < 512; i++ {
+		work[i] = int64(rng.Intn(100)) + 50
+	}
+	for i := 512; i < len(work); i++ {
+		work[i] = int64(rng.Intn(2))
+	}
+	d := Speedup(work, 8, false, 16)
+	s := Speedup(work, 8, true, 0)
+	if d <= s {
+		t.Fatalf("dynamic %v not better than static %v on skewed work", d, s)
+	}
+}
+
+func TestPeelingModel(t *testing.T) {
+	// Enumeration parallelizes; peeling does not.
+	t1 := PeelingModel(2400, 1000, 1)
+	t24 := PeelingModel(2400, 1000, 24)
+	if t1 != 3400 || t24 != 1100 {
+		t.Fatalf("peeling model: %d, %d", t1, t24)
+	}
+	// Amdahl ceiling: no thread count beats the serial part.
+	if PeelingModel(2400, 1000, 1<<20) < 1000 {
+		t.Fatal("peeling model below serial floor")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	work := []int64{10, 10, 10, 10}
+	if got := Imbalance(work, 2, true, 1); math.Abs(got) > 1e-9 {
+		t.Fatalf("balanced imbalance = %v", got)
+	}
+	skew := []int64{40, 0, 0, 0}
+	if got := Imbalance(skew, 2, true, 1); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("skewed imbalance = %v, want 1.0", got)
+	}
+	if got := Imbalance(nil, 4, true, 1); got != 0 {
+		t.Fatalf("empty imbalance = %v", got)
+	}
+}
+
+func TestMakespanEdgeCases(t *testing.T) {
+	if got := Makespan(nil, 4, false, 8); got != 0 {
+		t.Fatalf("empty makespan = %d", got)
+	}
+	if got := Makespan([]int64{5}, 0, false, 0); got != 5 {
+		t.Fatalf("degenerate params makespan = %d", got)
+	}
+}

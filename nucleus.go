@@ -1,0 +1,222 @@
+// Package nucleus is a library for hierarchical dense subgraph discovery.
+// It implements the local, parallel algorithms of Sarıyüce, Seshadhri and
+// Pinar, "Local Algorithms for Hierarchical Dense Subgraph Discovery"
+// (PVLDB 12(1), 2018): iterated h-index computation that converges to the
+// exact k-core, k-truss and k-(r,s) nucleus decompositions, alongside the
+// classic global peeling baseline.
+//
+// The entry point is Decompose:
+//
+//	g, _ := nucleus.LoadEdgeList("graph.txt")
+//	res := nucleus.Decompose(g, nucleus.KTruss, nucleus.Options{Algorithm: nucleus.AND})
+//	forest := nucleus.BuildHierarchy(g, nucleus.KTruss, res.Kappa)
+//
+// Decompositions are selected by (r,s): KCore is (1,2) over vertices and
+// degrees, KTruss is (2,3) over edges and triangle counts, Nucleus34 is
+// (3,4) over triangles and 4-clique counts — the paper's recommended sweet
+// spot for dense subgraph quality. DecomposeRS supports any r < s via an
+// explicit hypergraph (practical for small graphs).
+package nucleus
+
+import (
+	"fmt"
+
+	"nucleus/internal/graph"
+	"nucleus/internal/localhi"
+	inucleus "nucleus/internal/nucleus"
+	"nucleus/internal/peel"
+)
+
+// Graph is the undirected simple graph type of the library.
+type Graph = graph.Graph
+
+// Decomposition selects which (r,s) nucleus decomposition to compute.
+type Decomposition int
+
+const (
+	// KCore is the (1,2) decomposition: vertex core numbers.
+	KCore Decomposition = iota
+	// KTruss is the (2,3) decomposition: edge truss numbers (with triangle
+	// connectivity, i.e. the (2,3) nucleus of the paper).
+	KTruss
+	// Nucleus34 is the (3,4) decomposition: triangle κ indices.
+	Nucleus34
+)
+
+func (d Decomposition) String() string {
+	switch d {
+	case KCore:
+		return "(1,2) k-core"
+	case KTruss:
+		return "(2,3) k-truss"
+	case Nucleus34:
+		return "(3,4) nucleus"
+	}
+	return fmt.Sprintf("Decomposition(%d)", int(d))
+}
+
+// Algorithm selects how the decomposition is computed.
+type Algorithm int
+
+const (
+	// AND is the asynchronous local algorithm (Algorithm 3); the fastest,
+	// and the default.
+	AND Algorithm = iota
+	// SND is the synchronous local algorithm (Algorithm 2).
+	SND
+	// Peel is the global bucket-peeling baseline (Algorithm 1).
+	Peel
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AND:
+		return "AND"
+	case SND:
+		return "SND"
+	case Peel:
+		return "Peel"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Scheduling selects the parallel work distribution strategy.
+type Scheduling = localhi.Scheduling
+
+// Scheduling strategies for parallel sweeps.
+const (
+	Dynamic = localhi.Dynamic
+	Static  = localhi.Static
+)
+
+// Options configures Decompose.
+type Options struct {
+	// Algorithm selects AND (default), SND or Peel.
+	Algorithm Algorithm
+	// Threads is the worker count for the local algorithms; <=1 runs
+	// sequentially. Peeling ignores it (it is inherently sequential).
+	Threads int
+	// MaxSweeps bounds local iterations; 0 runs to convergence. A bounded
+	// run returns an approximation: τ ≥ κ pointwise.
+	MaxSweeps int
+	// Notification enables AND's plateau-skipping wakeup mechanism.
+	// Defaults to on for AND; set DisableNotification to turn it off.
+	DisableNotification bool
+	// Scheduling selects Dynamic (default) or Static chunking.
+	Scheduling Scheduling
+	// Order overrides AND's processing order (cell ids).
+	Order []int32
+	// OnSweep is invoked after each local sweep with the current τ.
+	OnSweep func(sweep int, tau []int32)
+}
+
+// Result is the outcome of a decomposition.
+type Result struct {
+	// Decomposition echoes the requested instance.
+	Decomposition Decomposition
+	// Kappa[c] is the κ index of cell c (vertex id for KCore, edge id for
+	// KTruss, triangle id for Nucleus34). For bounded local runs this is
+	// the current τ, an upper bound on κ.
+	Kappa []int32
+	// MaxKappa is the largest value in Kappa.
+	MaxKappa int32
+	// Converged is true when Kappa is the exact decomposition.
+	Converged bool
+	// Iterations counts local sweeps that changed some τ (0 for peeling).
+	Iterations int
+	// Sweeps counts all local sweeps including the convergence check.
+	Sweeps int
+	inst   inucleus.Instance
+}
+
+// Decompose computes the selected decomposition of g.
+func Decompose(g *Graph, dec Decomposition, opts Options) *Result {
+	return decomposeInstance(instanceFor(g, dec), dec, opts)
+}
+
+// DecomposeRS computes the generic (r,s) decomposition (r < s) by
+// materializing the r-clique/s-clique hypergraph. Exact but intended for
+// small graphs; for (1,2), (2,3), (3,4) prefer Decompose.
+func DecomposeRS(g *Graph, r, s int, opts Options) *Result {
+	return decomposeInstance(inucleus.NewHyper(g, r, s), Decomposition(-1), opts)
+}
+
+func decomposeInstance(inst inucleus.Instance, dec Decomposition, opts Options) *Result {
+	res := &Result{Decomposition: dec, inst: inst}
+	switch opts.Algorithm {
+	case Peel:
+		pr := peel.Run(inst)
+		res.Kappa = pr.Kappa
+		res.MaxKappa = pr.MaxKappa
+		res.Converged = true
+	case SND:
+		lr := localhi.Snd(inst, localhi.Options{
+			Threads:    opts.Threads,
+			MaxSweeps:  opts.MaxSweeps,
+			Scheduling: opts.Scheduling,
+			OnSweep:    opts.OnSweep,
+		})
+		fillLocal(res, lr)
+	default: // AND
+		lr := localhi.And(inst, localhi.Options{
+			Threads:      opts.Threads,
+			MaxSweeps:    opts.MaxSweeps,
+			Scheduling:   opts.Scheduling,
+			Order:        opts.Order,
+			Notification: !opts.DisableNotification,
+			OnSweep:      opts.OnSweep,
+		})
+		fillLocal(res, lr)
+	}
+	return res
+}
+
+func fillLocal(res *Result, lr *localhi.Result) {
+	res.Kappa = lr.Tau
+	res.Converged = lr.Converged
+	res.Iterations = lr.Iterations
+	res.Sweeps = lr.Sweeps
+	for _, k := range lr.Tau {
+		if k > res.MaxKappa {
+			res.MaxKappa = k
+		}
+	}
+}
+
+func instanceFor(g *Graph, dec Decomposition) inucleus.Instance {
+	switch dec {
+	case KCore:
+		return inucleus.NewCore(g)
+	case KTruss:
+		return inucleus.NewTruss(g)
+	case Nucleus34:
+		return inucleus.NewN34(g)
+	}
+	panic(fmt.Sprintf("nucleus: unknown decomposition %d", dec))
+}
+
+// DecomposeMaterialized is Decompose over a materialized instance: the
+// s-clique co-member lists are computed once and stored, trading memory
+// for avoiding per-sweep re-enumeration (the §5 trade-off). Profitable
+// when many sweeps run on a graph whose s-clique lists fit in memory.
+func DecomposeMaterialized(g *Graph, dec Decomposition, opts Options) *Result {
+	return decomposeInstance(inucleus.Materialize(instanceFor(g, dec)), dec, opts)
+}
+
+// CellLabel formats cell c of the result's decomposition for display
+// (vertex, edge endpoints, or triangle vertices).
+func (r *Result) CellLabel(c int32) string { return r.inst.CellLabel(c) }
+
+// CellVertices returns the vertices of cell c.
+func (r *Result) CellVertices(c int32) []uint32 {
+	return r.inst.CellVertices(c, nil)
+}
+
+// Histogram returns the count of cells per κ value, indexed by κ.
+func (r *Result) Histogram() []int64 {
+	h := make([]int64, r.MaxKappa+1)
+	for _, k := range r.Kappa {
+		h[k]++
+	}
+	return h
+}
