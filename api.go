@@ -8,6 +8,7 @@ import (
 	"nucleus/internal/localhi"
 	"nucleus/internal/metrics"
 	"nucleus/internal/query"
+	"nucleus/internal/server"
 )
 
 // ---------------------------------------------------------------------------
@@ -125,3 +126,21 @@ func ExactFraction(approx, exact []int32) float64 {
 
 // DefaultThreads returns a sensible worker count for parallel runs.
 func DefaultThreads() int { return localhi.DefaultThreads() }
+
+// ---------------------------------------------------------------------------
+// Serving layer (nucleusd).
+
+// ServerConfig configures the nucleusd HTTP serving layer: worker pool
+// size, job queue depth, LRU result cache capacity and upload limits.
+type ServerConfig = server.Config
+
+// Server is the nucleusd HTTP serving layer: a graph registry, an async
+// decomposition job queue with an LRU result cache, and synchronous
+// query-driven estimation, hierarchy and densest-subgraph endpoints. It
+// implements http.Handler; see docs/API.md for the endpoint reference.
+type Server = server.Server
+
+// NewServer constructs a Server and starts its worker pool. Mount it on
+// any http.Server, or run the cmd/nucleusd binary. Call Close to drain
+// in-flight jobs on shutdown.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }

@@ -1,0 +1,90 @@
+// Command nucleusd serves nucleus decompositions over HTTP/JSON: a graph
+// registry, an asynchronous decomposition job queue with an LRU result
+// cache, and synchronous query-driven estimation, hierarchy and
+// densest-subgraph endpoints. See docs/API.md for the endpoint reference.
+//
+//	nucleusd -addr :8080 -workers 4 -cache 64
+//
+// The server drains running decomposition jobs before exiting on SIGINT or
+// SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	root "nucleus"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nucleusd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 2, "decomposition worker pool size")
+		queueDepth = fs.Int("queue", 64, "max queued (not yet running) jobs")
+		cacheSize  = fs.Int("cache", 32, "LRU result cache capacity (entries)")
+		jobThreads = fs.Int("job-threads", 1, "default threads per decomposition job")
+		jobHistory = fs.Int("job-history", 256, "finished jobs retained for polling")
+		maxUpload  = fs.Int64("max-upload-mb", 256, "max graph upload size in MiB")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	srv := root.NewServer(root.ServerConfig{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheSize:      *cacheSize,
+		JobThreads:     *jobThreads,
+		JobHistory:     *jobHistory,
+		MaxUploadBytes: *maxUpload << 20,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("nucleusd listening on %s (workers=%d queue=%d cache=%d)",
+			*addr, *workers, *queueDepth, *cacheSize)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	srv.Close() // drain the job queue after the listener stops
+	return <-errCh
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	if err := run([]string{"-addr", "999.999.999.999:bad"}); err == nil {
+		t.Fatal("expected listen error")
+	}
+}

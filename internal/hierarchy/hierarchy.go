@@ -4,6 +4,18 @@
 // is contained in exactly one k-nucleus. The forest is built bottom-up with
 // a union-find over cells, activating cells in decreasing κ order, the way
 // the traversal algorithms of the nucleus decomposition papers do.
+//
+// Typical use: decompose first, then Build the forest and walk or export
+// it —
+//
+//	forest := hierarchy.Build(inst, kappa)
+//	forest.Print(os.Stdout, g, 10)       // text tree, nodes with >= 10 cells
+//	forest.WriteJSON(os.Stdout, g)       // nested JSON with densities
+//	forest.WriteDOT(os.Stdout, g, 10)    // GraphViz
+//
+// For single extractions without the full forest, MaxNucleusOf returns the
+// maximum nucleus around one cell, KNucleusSubgraphs the nuclei at a fixed
+// threshold, and KCoreSubgraph the classic k-core as an induced subgraph.
 package hierarchy
 
 import (

@@ -10,6 +10,13 @@
 // to workers with either static (contiguous chunk) or dynamic (work
 // stealing via a shared cursor) scheduling, mirroring the OpenMP discussion
 // in §4.4.
+//
+// A converged run yields the exact decomposition (Result.Converged);
+// bounding Options.MaxSweeps yields an anytime approximation with the
+// one-sided guarantee τ ≥ κ. Options.Subset restricts recomputation to a
+// cell subset (the query-driven mode of package query), and
+// Options.InitialTau warm-starts reconvergence after graph edits (package
+// dynamic).
 package localhi
 
 import (

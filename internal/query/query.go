@@ -5,6 +5,14 @@
 // the iterations on the cells within h hops of the queries — everything
 // else frozen at τ0 = its s-degree — produces an upper-bound estimate that
 // tightens as h grows (by Theorem 1, τ never drops below κ).
+//
+// The iteration cost of a query is proportional to the region size, not
+// the graph: Estimate.ActiveCells reports how many cells were touched.
+// hops = 0 degenerates to τ = s-degree; a few hops usually recover the
+// exact κ on real graphs. Constructing a Truss instance does pay a global
+// per-edge triangle count — callers answering repeated queries should
+// build the instance once and use the *On variants (the nucleusd
+// /estimate endpoints memoize instances per registered graph this way).
 package query
 
 import (
@@ -23,21 +31,37 @@ type Estimate struct {
 	Result *localhi.Result
 }
 
+// restricted runs the local iterations over the given cell subset only.
+// An empty subset short-circuits to τ = s-degree (the hops-independent
+// upper bound): passing it to the engine would mean "all cells" and
+// silently run a full-graph decomposition.
+func restricted(inst nucleus.Instance, cells []int32, maxSweeps int) *localhi.Result {
+	if len(cells) == 0 {
+		return &localhi.Result{Tau: inst.Degrees()}
+	}
+	return localhi.And(inst, localhi.Options{
+		Subset:       cells,
+		MaxSweeps:    maxSweeps,
+		Notification: true,
+	})
+}
+
 // CoreNumbers estimates κ₂ for the query vertices using the cells within
 // `hops` BFS hops and at most maxSweeps local iterations (0 = until the
 // restricted computation converges).
 func CoreNumbers(g *graph.Graph, queries []uint32, hops, maxSweeps int) *Estimate {
-	inst := nucleus.NewCore(g)
+	return CoreNumbersOn(nucleus.NewCore(g), g, queries, hops, maxSweeps)
+}
+
+// CoreNumbersOn is CoreNumbers over a caller-supplied (1,2) instance of g,
+// letting repeated queries share one instance.
+func CoreNumbersOn(inst nucleus.Instance, g *graph.Graph, queries []uint32, hops, maxSweeps int) *Estimate {
 	region := g.BFSWithin(queries, hops)
 	cells := make([]int32, len(region))
 	for i, v := range region {
 		cells[i] = int32(v)
 	}
-	res := localhi.And(inst, localhi.Options{
-		Subset:       cells,
-		MaxSweeps:    maxSweeps,
-		Notification: true,
-	})
+	res := restricted(inst, cells, maxSweeps)
 	out := &Estimate{ActiveCells: len(cells), Result: res}
 	for _, q := range queries {
 		out.Tau = append(out.Tau, res.Tau[q])
@@ -49,7 +73,12 @@ func CoreNumbers(g *graph.Graph, queries []uint32, hops, maxSweeps int) *Estimat
 // using all edges within `hops` hops of either endpoint and at most
 // maxSweeps local iterations.
 func TrussNumbers(g *graph.Graph, queryEdges [][2]uint32, hops, maxSweeps int) *Estimate {
-	inst := nucleus.NewTruss(g)
+	return TrussNumbersOn(nucleus.NewTruss(g), g, queryEdges, hops, maxSweeps)
+}
+
+// TrussNumbersOn is TrussNumbers over a caller-supplied (2,3) instance of
+// g, amortizing the instance's global triangle count across queries.
+func TrussNumbersOn(inst nucleus.Instance, g *graph.Graph, queryEdges [][2]uint32, hops, maxSweeps int) *Estimate {
 	var seeds []uint32
 	for _, e := range queryEdges {
 		seeds = append(seeds, e[0], e[1])
@@ -71,11 +100,7 @@ func TrussNumbers(g *graph.Graph, queryEdges [][2]uint32, hops, maxSweeps int) *
 			}
 		}
 	}
-	res := localhi.And(inst, localhi.Options{
-		Subset:       cells,
-		MaxSweeps:    maxSweeps,
-		Notification: true,
-	})
+	res := restricted(inst, cells, maxSweeps)
 	out := &Estimate{ActiveCells: len(cells), Result: res}
 	for _, e := range queryEdges {
 		id, ok := g.EdgeID(e[0], e[1])

@@ -4,6 +4,11 @@
 // 1b, §4.4) depend on how evenly work spreads across threads — especially
 // once the notification mechanism leaves islands of active cells — and this
 // model reproduces those shapes independent of the host's core count.
+//
+// Makespan is the primitive; Speedup and Imbalance derive the quantities
+// plotted in the paper, and PeelingModel captures why global peeling
+// cannot scale: its enumeration phase parallelizes but the bucket loop is
+// inherently sequential.
 package sched
 
 // Makespan simulates scheduling the work items (in index order) over

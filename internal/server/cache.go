@@ -1,0 +1,119 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"nucleus/internal/nucleus"
+)
+
+// cacheKey identifies one decomposition result. The graph version ties the
+// entry to a specific registry entry, so re-uploading a graph under the
+// same name invalidates prior results implicitly. MaxSweeps is part of the
+// key because a bounded run returns an approximation (τ ≥ κ), not the same
+// array a converged run would.
+type cacheKey struct {
+	graph     string
+	version   uint64
+	dec       string
+	alg       string
+	maxSweeps int
+}
+
+// decompResult is a completed decomposition, shared between the job store
+// and the cache. Immutable after creation.
+type decompResult struct {
+	Kappa      []int32
+	MaxKappa   int32
+	Converged  bool
+	Iterations int
+	Sweeps     int
+	// Inst is the instance κ was computed on. Kept with the result so the
+	// hierarchy/nuclei endpoints reuse the (often expensive) s-clique
+	// enumeration instead of rebuilding it per request.
+	Inst nucleus.Instance
+}
+
+// lruCache is a fixed-capacity LRU map from cacheKey to *decompResult.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+}
+
+type lruEntry struct {
+	key cacheKey
+	val *decompResult
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(k cacheKey) (*decompResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) put(k cacheKey, v *decompResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&lruEntry{key: k, val: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// purgeGraph removes every entry for the named graph with version below
+// minVer. Deleting or replacing a graph makes those entries unreachable
+// (the live version changed), so without this they pin κ arrays and
+// s-clique indices until LRU pressure happens to evict them. An in-flight
+// decomposition that finishes after the purge is handled by
+// computeShared's liveness recheck, which removes its own stale insert.
+func (c *lruCache) purgeGraph(name string, minVer uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*lruEntry)
+		if e.key.graph == name && e.key.version < minVer {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+		}
+		el = next
+	}
+}
+
+// remove drops one entry if present.
+func (c *lruCache) remove(k cacheKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.Remove(el)
+		delete(c.items, k)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,556 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"nucleus/internal/hierarchy"
+	"nucleus/internal/query"
+)
+
+// ---------------------------------------------------------------------------
+// JSON plumbing.
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxJSONBody caps JSON request bodies (jobs, generate, estimates); graph
+// uploads have their own MaxUploadBytes limit.
+const maxJSONBody = 8 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "JSON body exceeds the %d-byte limit", mbe.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("invalid %s=%q: want an integer", name, s)
+	}
+	return v, nil
+}
+
+// ---------------------------------------------------------------------------
+// Health and stats.
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type statsResponse struct {
+	UptimeSeconds float64    `json:"uptimeSeconds"`
+	Requests      int64      `json:"requests"`
+	Graphs        int        `json:"graphs"`
+	Workers       int        `json:"workers"`
+	Jobs          jobsStats  `json:"jobs"`
+	Cache         cacheStats `json:"cache"`
+}
+
+type jobsStats struct {
+	Submitted int64 `json:"submitted"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Done      int   `json:"done"`
+	Failed    int   `json:"failed"`
+}
+
+type cacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Entries  int   `json:"entries"`
+	Capacity int   `json:"capacity"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.jobs.counts()
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Graphs:        s.reg.count(),
+		Workers:       s.cfg.Workers,
+		Jobs: jobsStats{
+			Submitted: s.jobs.submitted.Load(),
+			Queued:    queued,
+			Running:   running,
+			Done:      int(s.jobs.completed.Load()),
+			Failed:    int(s.jobs.failed.Load()),
+		},
+		Cache: cacheStats{
+			Hits:     s.cacheHits.Load(),
+			Misses:   s.cacheMisses.Load(),
+			Entries:  s.cache.len(),
+			Capacity: s.cfg.CacheSize,
+		},
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Graph registry.
+
+type graphView struct {
+	Name      string    `json:"name"`
+	N         int       `json:"n"`
+	M         int64     `json:"m"`
+	Source    string    `json:"source"`
+	CreatedAt time.Time `json:"createdAt"`
+}
+
+func viewGraph(e *graphEntry) graphView {
+	return graphView{Name: e.name, N: e.g.N(), M: e.g.M(), Source: e.source, CreatedAt: e.created}
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.list()
+	out := make([]graphView, len(entries))
+	for i, e := range entries {
+		out[i] = viewGraph(e)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	format := r.URL.Query().Get("format")
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	g, err := readGraph(format, body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "upload exceeds the %d-byte limit", mbe.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "parsing %s upload: %v", orDefault(format, "edgelist"), err)
+		return
+	}
+	e := s.reg.put(name, "upload:"+orDefault(format, "edgelist"), g)
+	s.cache.purgeGraph(name, e.version) // replacement invalidates prior results
+	writeJSON(w, http.StatusCreated, viewGraph(e))
+}
+
+func (s *Server) handleGenerateGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req generateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	g, err := generate(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e := s.reg.put(name, "generator:"+req.Generator, g)
+	s.cache.purgeGraph(name, e.version) // replacement invalidates prior results
+	writeJSON(w, http.StatusCreated, viewGraph(e))
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, viewGraph(e))
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.reg.delete(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+		return
+	}
+	s.cache.purgeGraph(name, e.version+1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Jobs.
+
+type jobView struct {
+	ID            string    `json:"id"`
+	Graph         string    `json:"graph"`
+	Decomposition string    `json:"decomposition"`
+	Algorithm     string    `json:"algorithm"`
+	MaxSweeps     int       `json:"maxSweeps"`
+	State         JobState  `json:"state"`
+	Cached        bool      `json:"cached"`
+	Error         string    `json:"error,omitempty"`
+	SubmittedAt   time.Time `json:"submittedAt"`
+	// Result summary; meaningful (non-zero) once State is done. No
+	// omitempty: clients rely on "converged": false being visible for
+	// sweep-bounded approximate runs.
+	Cells      int   `json:"cells"`
+	MaxKappa   int32 `json:"maxKappa"`
+	Converged  bool  `json:"converged"`
+	Iterations int   `json:"iterations"`
+	Sweeps     int   `json:"sweeps"`
+	// DurationMS is wall time from start to finish (0 for cache hits).
+	DurationMS float64 `json:"durationMs"`
+}
+
+func viewJob(j *job) jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:            j.id,
+		Graph:         j.req.Graph,
+		Decomposition: j.req.Decomposition,
+		Algorithm:     j.req.Algorithm,
+		MaxSweeps:     j.req.MaxSweeps,
+		State:         j.state,
+		Cached:        j.cached,
+		Error:         j.errMsg,
+		SubmittedAt:   j.submitted,
+	}
+	if j.state == JobDone && j.result != nil {
+		v.Cells = len(j.result.Kappa)
+		v.MaxKappa = j.result.MaxKappa
+		v.Converged = j.result.Converged
+		v.Iterations = j.result.Iterations
+		v.Sweeps = j.result.Sweeps
+	}
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		v.DurationMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	}
+	return v
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	j, err := s.jobs.submit(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, errQueueFull):
+			status = http.StatusTooManyRequests
+		case errors.Is(err, errUnknownGraph):
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, viewJob(j))
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.list()
+	out := make([]jobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = viewJob(j)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, viewJob(j))
+}
+
+type jobResultResponse struct {
+	jobView
+	// Histogram[k] is the number of cells with κ index exactly k.
+	Histogram []int64 `json:"histogram"`
+	// Kappa is the full per-cell κ array; only with ?kappa=true.
+	Kappa []int32 `json:"kappa,omitempty"`
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	v := viewJob(j)
+	switch v.State {
+	case JobDone:
+	case JobFailed:
+		writeError(w, http.StatusConflict, "job %s failed: %s", v.ID, v.Error)
+		return
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s; poll GET /jobs/%s until done", v.ID, v.State, v.ID)
+		return
+	}
+	j.mu.Lock()
+	res := j.result
+	j.mu.Unlock()
+	hist := make([]int64, res.MaxKappa+1)
+	for _, k := range res.Kappa {
+		hist[k]++
+	}
+	out := jobResultResponse{jobView: v, Histogram: hist}
+	if r.URL.Query().Get("kappa") == "true" {
+		out.Kappa = res.Kappa
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ---------------------------------------------------------------------------
+// Query-driven estimation (synchronous).
+
+type estimateCoreRequest struct {
+	Graph string `json:"graph"`
+	// Vertices are the query vertex ids.
+	Vertices []uint32 `json:"vertices"`
+	// Hops is the BFS radius of the local region; 0 means only the
+	// queries themselves (τ = degree).
+	Hops int `json:"hops"`
+	// MaxSweeps bounds the restricted iterations; 0 runs the restricted
+	// computation to convergence.
+	MaxSweeps int `json:"maxSweeps"`
+}
+
+type estimateResponse struct {
+	Graph string `json:"graph"`
+	// Estimates[i] is the τ upper bound for the i-th query (−1 for a
+	// truss query edge not present in the graph).
+	Estimates []int32 `json:"estimates"`
+	// ActiveCells is how many cells the restricted computation touched —
+	// the cost measure of the paper's query-driven scenario.
+	ActiveCells int `json:"activeCells"`
+	Sweeps      int `json:"sweeps"`
+}
+
+func (s *Server) handleEstimateCore(w http.ResponseWriter, r *http.Request) {
+	var req estimateCoreRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	e, ok := s.reg.get(req.Graph)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", req.Graph)
+		return
+	}
+	if len(req.Vertices) == 0 {
+		writeError(w, http.StatusBadRequest, "vertices must be non-empty")
+		return
+	}
+	for _, v := range req.Vertices {
+		if int(v) >= e.g.N() {
+			writeError(w, http.StatusBadRequest, "vertex %d out of range (n=%d)", v, e.g.N())
+			return
+		}
+	}
+	s.acquireSync()
+	defer s.releaseSync() // defer: an engine panic must not leak the slot
+	est := query.CoreNumbersOn(e.instance("core"), e.g, req.Vertices, req.Hops, req.MaxSweeps)
+	writeJSON(w, http.StatusOK, estimateResponse{
+		Graph:       req.Graph,
+		Estimates:   est.Tau,
+		ActiveCells: est.ActiveCells,
+		Sweeps:      est.Result.Sweeps,
+	})
+}
+
+type estimateTrussRequest struct {
+	Graph string `json:"graph"`
+	// Edges are the query edges as [u, v] endpoint pairs.
+	Edges     [][2]uint32 `json:"edges"`
+	Hops      int         `json:"hops"`
+	MaxSweeps int         `json:"maxSweeps"`
+}
+
+func (s *Server) handleEstimateTruss(w http.ResponseWriter, r *http.Request) {
+	var req estimateTrussRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	e, ok := s.reg.get(req.Graph)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", req.Graph)
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, "edges must be non-empty")
+		return
+	}
+	for _, ed := range req.Edges {
+		if int(ed[0]) >= e.g.N() || int(ed[1]) >= e.g.N() {
+			writeError(w, http.StatusBadRequest, "edge [%d %d] out of range (n=%d)", ed[0], ed[1], e.g.N())
+			return
+		}
+	}
+	s.acquireSync()
+	defer s.releaseSync()
+	est := query.TrussNumbersOn(e.instance("truss"), e.g, req.Edges, req.Hops, req.MaxSweeps)
+	writeJSON(w, http.StatusOK, estimateResponse{
+		Graph:       req.Graph,
+		Estimates:   est.Tau,
+		ActiveCells: est.ActiveCells,
+		Sweeps:      est.Result.Sweeps,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy, nuclei and densest subgraph (synchronous, cache-backed).
+
+// decParams extracts and validates the dec/alg/maxSweeps query parameters
+// shared by the hierarchy and nuclei endpoints.
+func (s *Server) decParams(w http.ResponseWriter, r *http.Request) (dec, alg string, maxSweeps int, ok bool) {
+	var err error
+	if dec, err = normalizeDec(r.URL.Query().Get("dec")); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return "", "", 0, false
+	}
+	if alg, err = normalizeAlg(r.URL.Query().Get("alg")); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return "", "", 0, false
+	}
+	if maxSweeps, err = queryInt(r, "maxSweeps", 0); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return "", "", 0, false
+	}
+	return dec, alg, maxSweeps, true
+}
+
+func (s *Server) handleHierarchy(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("name"))
+		return
+	}
+	dec, alg, maxSweeps, ok := s.decParams(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.kappaFor(e, dec, alg, maxSweeps)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	forest := hierarchy.Build(res.Inst, res.Kappa)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = forest.WriteJSON(w, e.g)
+}
+
+type nucleusView struct {
+	// Cells is the number of cells (vertices/edges/triangles) in the
+	// nucleus.
+	Cells int `json:"cells"`
+	// Vertices is the nucleus vertex set, ascending.
+	Vertices []uint32 `json:"vertices"`
+}
+
+type nucleiResponse struct {
+	Graph         string        `json:"graph"`
+	Decomposition string        `json:"decomposition"`
+	K             int           `json:"k"`
+	Nuclei        []nucleusView `json:"nuclei"`
+}
+
+func (s *Server) handleNuclei(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("name"))
+		return
+	}
+	dec, alg, maxSweeps, ok := s.decParams(w, r)
+	if !ok {
+		return
+	}
+	k, err := queryInt(r, "k", 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if k < 0 || k > math.MaxInt32 {
+		// κ indices are int32; a wider k would wrap when truncated below.
+		writeError(w, http.StatusBadRequest, "k=%d out of range [0, %d]", k, math.MaxInt32)
+		return
+	}
+	res, err := s.kappaFor(e, dec, alg, maxSweeps)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	inst := res.Inst
+	cellSets := hierarchy.KNucleusSubgraphs(inst, res.Kappa, int32(k))
+	out := nucleiResponse{Graph: e.name, Decomposition: dec, K: k, Nuclei: []nucleusView{}}
+	for _, cells := range cellSets {
+		out.Nuclei = append(out.Nuclei, nucleusView{
+			Cells:    len(cells),
+			Vertices: hierarchy.CellsToVertices(inst, cells),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type densestResponse struct {
+	Graph         string   `json:"graph"`
+	Method        string   `json:"method"`
+	Vertices      []uint32 `json:"vertices"`
+	Edges         int64    `json:"edges"`
+	AverageDegree float64  `json:"averageDegree"`
+	EdgeDensity   float64  `json:"edgeDensity"`
+}
+
+func (s *Server) handleDensest(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("name"))
+		return
+	}
+	method := orDefault(r.URL.Query().Get("method"), "approx")
+	if method != "approx" && method != "maxcore" {
+		writeError(w, http.StatusBadRequest, "unknown method %q (want approx or maxcore)", method)
+		return
+	}
+	s.acquireSync() // a memo miss runs a full graph peel
+	defer s.releaseSync()
+	res := e.densestFor(method)
+	writeJSON(w, http.StatusOK, densestResponse{
+		Graph:         e.name,
+		Method:        method,
+		Vertices:      res.Vertices,
+		Edges:         res.Edges,
+		AverageDegree: res.AverageDegree,
+		EdgeDensity:   res.EdgeDensity,
+	})
+}

@@ -1,0 +1,469 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nucleus/internal/graph"
+	"nucleus/internal/localhi"
+	inucleus "nucleus/internal/nucleus"
+	"nucleus/internal/peel"
+)
+
+// JobState is the lifecycle state of a decomposition job:
+// queued → running → done | failed. Cache hits jump straight to done.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// jobRequest is the JSON body of POST /jobs.
+type jobRequest struct {
+	// Graph names a registered graph.
+	Graph string `json:"graph"`
+	// Decomposition is core, truss or n34 (aliases: 12, 23, 34).
+	Decomposition string `json:"decomposition"`
+	// Algorithm is and (default), snd or peel.
+	Algorithm string `json:"algorithm"`
+	// Threads is the in-job worker count for the local algorithms;
+	// 0 uses the server default.
+	Threads int `json:"threads"`
+	// MaxSweeps bounds local iterations; 0 runs to convergence.
+	MaxSweeps int `json:"maxSweeps"`
+}
+
+// job is one decomposition job. Mutable fields are guarded by mu.
+type job struct {
+	id    string
+	req   jobRequest
+	entry *graphEntry
+	key   cacheKey
+
+	mu        sync.Mutex
+	state     JobState
+	errMsg    string
+	cached    bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *decompResult
+}
+
+// jobManager owns the bounded queue and the worker pool.
+type jobManager struct {
+	s     *Server
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for GET /jobs
+	closed bool
+
+	nextID    atomic.Int64
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+func newJobManager(s *Server, workers, queueDepth int) *jobManager {
+	m := &jobManager{
+		s:     s,
+		queue: make(chan *job, queueDepth),
+		jobs:  make(map[string]*job),
+	}
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// errQueueFull reports a full job queue; handlers map it to 429.
+var errQueueFull = fmt.Errorf("job queue is full")
+
+// errUnknownGraph reports a job naming an unregistered graph; handlers map
+// it to 404.
+var errUnknownGraph = fmt.Errorf("unknown graph")
+
+// submit validates the request, consults the cache, and either completes
+// the job immediately (cache hit) or enqueues it for the worker pool.
+func (m *jobManager) submit(req jobRequest) (*job, error) {
+	dec, err := normalizeDec(req.Decomposition)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := normalizeAlg(req.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	req.Decomposition, req.Algorithm = dec, alg
+	// Clamp client-supplied intra-job parallelism to the host: an
+	// arbitrary request must not be able to spawn unbounded goroutines.
+	if max := runtime.GOMAXPROCS(0); req.Threads > max {
+		req.Threads = max
+	}
+	if alg == "peel" || req.MaxSweeps < 0 {
+		// Peeling is exact and ignores the sweep budget, and the local
+		// algorithms treat any non-positive budget as "run to
+		// convergence"; normalize so equivalent requests share one cache
+		// slot.
+		req.MaxSweeps = 0
+	}
+	entry, ok := m.s.reg.get(req.Graph)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", errUnknownGraph, req.Graph)
+	}
+
+	j := &job{
+		id:        fmt.Sprintf("j%d", m.nextID.Add(1)),
+		req:       req,
+		entry:     entry,
+		key:       cacheKey{entry.name, entry.version, dec, alg, req.MaxSweeps},
+		state:     JobQueued,
+		submitted: time.Now(),
+	}
+
+	if res, ok := m.s.cache.get(j.key); ok {
+		m.s.cacheHits.Add(1)
+		j.cached = true
+		j.state = JobDone
+		j.result = slimResult(res)
+		j.finished = j.submitted
+		m.track(j)
+		m.submitted.Add(1)
+		m.completed.Add(1)
+		m.prune()
+		return j, nil
+	}
+	m.s.cacheMisses.Add(1)
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("server is shutting down")
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		return nil, errQueueFull
+	}
+	m.trackLocked(j)
+	m.mu.Unlock()
+	m.submitted.Add(1)
+	return j, nil
+}
+
+func (m *jobManager) track(j *job) {
+	m.mu.Lock()
+	m.trackLocked(j)
+	m.mu.Unlock()
+}
+
+func (m *jobManager) trackLocked(j *job) {
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+}
+
+func (m *jobManager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	return j, ok
+}
+
+func (m *jobManager) list() []*job {
+	m.mu.Lock()
+	out := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	m.mu.Unlock()
+	return out
+}
+
+func (m *jobManager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			j.mu.Lock()
+			j.state = JobFailed
+			j.errMsg = "server shut down before the job started"
+			j.finished = time.Now()
+			j.mu.Unlock()
+			m.failed.Add(1)
+			continue
+		}
+		m.run(j)
+	}
+}
+
+func (m *jobManager) run(j *job) {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	threads := j.req.Threads
+	if threads <= 0 {
+		threads = m.s.cfg.JobThreads
+	}
+	res, shared, err := m.s.computeShared(j.key, j.entry, threads, j.req.MaxSweeps)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = JobFailed
+		j.errMsg = err.Error()
+		j.mu.Unlock()
+		m.failed.Add(1)
+		m.prune()
+		return
+	}
+	j.state = JobDone
+	j.result = slimResult(res)
+	// The key became cached (or another caller computed it) between
+	// submission and execution; surface that the worker did no work.
+	j.cached = shared
+	j.mu.Unlock()
+	m.completed.Add(1)
+	m.prune()
+}
+
+// slimResult strips the Inst reference for storage on a job: the history
+// cap should bound κ-array memory, not pin s-clique indices (which live
+// in the LRU cache and the per-graph memo instead).
+func slimResult(res *decompResult) *decompResult {
+	slim := *res
+	slim.Inst = nil
+	return &slim
+}
+
+// prune evicts the oldest finished jobs once the store exceeds the
+// configured history cap, bounding memory in a long-running server (each
+// done job pins its O(cells) κ array). Queued/running jobs are never
+// evicted.
+func (m *jobManager) prune() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.jobs) > m.s.cfg.JobHistory {
+		evict := -1
+		for i, id := range m.order {
+			j := m.jobs[id]
+			j.mu.Lock()
+			st := j.state
+			j.mu.Unlock()
+			if st == JobDone || st == JobFailed {
+				evict = i
+				break
+			}
+		}
+		if evict < 0 {
+			return
+		}
+		delete(m.jobs, m.order[evict])
+		m.order = append(m.order[:evict:evict], m.order[evict+1:]...)
+	}
+}
+
+// close stops accepting submissions, fails still-queued jobs, and waits
+// for running jobs to finish.
+func (m *jobManager) close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.queue)
+	m.wg.Wait()
+}
+
+// counts returns the live queued/running totals by scanning retained
+// jobs. Done/failed totals come from the cumulative atomics instead, so
+// they survive history pruning.
+func (m *jobManager) counts() (queued, running int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		st := j.state
+		j.mu.Unlock()
+		switch st {
+		case JobQueued:
+			queued++
+		case JobRunning:
+			running++
+		}
+	}
+	return
+}
+
+// ---------------------------------------------------------------------------
+// Decomposition engine glue.
+
+func normalizeDec(s string) (string, error) {
+	switch s {
+	case "", "core", "kcore", "12":
+		return "core", nil
+	case "truss", "ktruss", "23":
+		return "truss", nil
+	case "n34", "34", "nucleus34":
+		return "n34", nil
+	}
+	return "", fmt.Errorf("unknown decomposition %q (want core, truss or n34)", s)
+}
+
+func normalizeAlg(s string) (string, error) {
+	switch s {
+	case "", "and":
+		return "and", nil
+	case "snd":
+		return "snd", nil
+	case "peel":
+		return "peel", nil
+	}
+	return "", fmt.Errorf("unknown algorithm %q (want and, snd or peel)", s)
+}
+
+func instanceFor(g *graph.Graph, dec string) inucleus.Instance {
+	switch dec {
+	case "core":
+		return inucleus.NewCore(g)
+	case "truss":
+		return inucleus.NewTruss(g)
+	case "n34":
+		return inucleus.NewN34(g)
+	}
+	panic(fmt.Sprintf("server: unnormalized decomposition %q", dec))
+}
+
+// runDecomposition executes one decomposition with the selected engine,
+// reusing the entry's memoized instance. dec and alg must already be
+// normalized.
+func runDecomposition(entry *graphEntry, dec, alg string, threads, maxSweeps int) (res *decompResult, err error) {
+	// A decomposition touches every cell of a user-supplied graph;
+	// convert engine panics (e.g. from a hostile input that slipped past
+	// parsing) into failed jobs instead of crashing the server.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("decomposition panicked: %v", r)
+		}
+	}()
+	inst := entry.instance(dec)
+	switch alg {
+	case "peel":
+		pr := peel.Run(inst)
+		return &decompResult{Kappa: pr.Kappa, MaxKappa: pr.MaxKappa, Converged: true, Inst: inst}, nil
+	case "snd":
+		lr := localhi.Snd(inst, localhi.Options{Threads: threads, MaxSweeps: maxSweeps})
+		return localResult(lr, inst), nil
+	case "and":
+		lr := localhi.And(inst, localhi.Options{Threads: threads, MaxSweeps: maxSweeps, Notification: true})
+		return localResult(lr, inst), nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", alg)
+}
+
+func localResult(lr *localhi.Result, inst inucleus.Instance) *decompResult {
+	res := &decompResult{
+		Kappa:      lr.Tau,
+		Converged:  lr.Converged,
+		Iterations: lr.Iterations,
+		Sweeps:     lr.Sweeps,
+		Inst:       inst,
+	}
+	for _, k := range lr.Tau {
+		if k > res.MaxKappa {
+			res.MaxKappa = k
+		}
+	}
+	return res
+}
+
+// kappaFor returns the κ array for (entry, dec, alg, maxSweeps), serving
+// from the LRU cache when possible and computing synchronously (and
+// caching) otherwise. The synchronous hierarchy/nuclei endpoints share
+// cache slots — and in-flight computations — with the async job path
+// through this helper.
+func (s *Server) kappaFor(entry *graphEntry, dec, alg string, maxSweeps int) (*decompResult, error) {
+	if alg == "peel" || maxSweeps < 0 {
+		maxSweeps = 0
+	}
+	key := cacheKey{entry.name, entry.version, dec, alg, maxSweeps}
+	// Fast path without a semaphore slot: a cached result costs nothing.
+	if res, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		return res, nil
+	}
+	s.acquireSync()
+	defer s.releaseSync()
+	res, shared, err := s.computeShared(key, entry, s.cfg.JobThreads, maxSweeps)
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		s.cacheHits.Add(1)
+	} else {
+		s.cacheMisses.Add(1)
+	}
+	return res, nil
+}
+
+// computeShared runs the decomposition for key at most once across
+// concurrent callers (single-flight): the first caller computes and
+// populates the cache; concurrent callers with the same key block until
+// it finishes and share the result. shared is true when this caller did
+// not do the work itself (cache hit or coalesced onto another caller).
+func (s *Server) computeShared(key cacheKey, entry *graphEntry, threads, maxSweeps int) (res *decompResult, shared bool, err error) {
+	if res, ok := s.cache.get(key); ok {
+		return res, true, nil
+	}
+	s.flightMu.Lock()
+	if f, ok := s.inflight[key]; ok {
+		s.flightMu.Unlock()
+		<-f.done
+		return f.res, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.flightMu.Unlock()
+
+	f.res, f.err = runDecomposition(entry, key.dec, key.alg, threads, maxSweeps)
+	if f.err == nil {
+		s.cache.put(key, f.res)
+		// Liveness recheck: if the graph was deleted or replaced while we
+		// computed, its purge may have run before our put — take the dead
+		// entry back out. Every interleaving removes it: either the purge
+		// saw our insert, or this recheck sees the changed version.
+		if cur, ok := s.reg.get(key.graph); !ok || cur.version != key.version {
+			s.cache.remove(key)
+		}
+	}
+	s.flightMu.Lock()
+	delete(s.inflight, key)
+	s.flightMu.Unlock()
+	close(f.done)
+	return f.res, false, f.err
+}
+
+// flight is one in-progress decomposition that concurrent callers wait
+// on; res/err are set before done is closed.
+type flight struct {
+	done chan struct{}
+	res  *decompResult
+	err  error
+}

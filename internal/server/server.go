@@ -1,0 +1,161 @@
+// Package server implements nucleusd, the HTTP/JSON serving layer of the
+// nucleus library. It turns the batch decomposition engines into an
+// always-on service, mirroring the paper's split between full decomposition
+// (Algorithms 1–3, expensive, run asynchronously) and query-driven local
+// estimation (§1.2/§5, cheap, answered synchronously):
+//
+//   - a graph registry of named in-memory graphs, loaded from edge-list,
+//     MatrixMarket or METIS uploads or from the built-in generators;
+//   - an asynchronous decomposition job queue backed by a bounded worker
+//     pool over the localhi (AND/SND) and peel engines, with the job
+//     lifecycle queued → running → done|failed;
+//   - an LRU result cache keyed by (graph, version, decomposition,
+//     algorithm, sweep budget) so repeated decomposition requests are
+//     served without recomputation;
+//   - synchronous endpoints for query-driven core/truss estimation,
+//     hierarchy and nuclei extraction, and densest-subgraph queries.
+//
+// Construct a Server with New and mount it on any http.Server (it
+// implements http.Handler), or run the cmd/nucleusd binary. See
+// docs/API.md for the endpoint reference.
+package server
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config configures a nucleusd Server.
+type Config struct {
+	// Workers is the size of the decomposition worker pool. Values <= 0
+	// default to 2.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submissions beyond it are rejected with 429. Values <= 0 default
+	// to 64.
+	QueueDepth int
+	// CacheSize is the capacity (entry count) of the LRU decomposition
+	// result cache. Values <= 0 default to 32; use 1 for an effectively
+	// single-entry cache (the cache cannot be disabled entirely, which
+	// keeps the /stats counters meaningful).
+	CacheSize int
+	// MaxUploadBytes caps the accepted size of a graph upload body.
+	// Values <= 0 default to 256 MiB.
+	MaxUploadBytes int64
+	// JobThreads is the default worker-thread count passed to the local
+	// decomposition algorithms when a job does not specify one. Values
+	// <= 0 default to 1 (each pool worker runs its job sequentially).
+	JobThreads int
+	// JobHistory caps how many finished (done or failed) jobs are
+	// retained for GET /jobs/{id}; the oldest are evicted beyond it,
+	// bounding the memory pinned by per-job κ arrays. Values <= 0
+	// default to 256.
+	JobHistory int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 32
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 256 << 20
+	}
+	if c.JobThreads <= 0 {
+		c.JobThreads = 1
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 256
+	}
+	return c
+}
+
+// Server is the nucleusd HTTP serving layer. It is safe for concurrent
+// use; create one with New and shut it down with Close.
+type Server struct {
+	cfg   Config
+	reg   *registry
+	cache *lruCache
+	jobs  *jobManager
+	mux   *http.ServeMux
+	start time.Time
+
+	// Single-flight table: in-progress decompositions by cache key.
+	flightMu sync.Mutex
+	inflight map[cacheKey]*flight
+
+	// syncSem bounds graph-sized work running on request goroutines
+	// (synchronous decompositions and estimations), which would otherwise
+	// bypass the worker-pool bound that gates POST /jobs.
+	syncSem chan struct{}
+
+	// Request and cache counters, surfaced by /stats.
+	requests    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// New constructs a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		reg:      newRegistry(),
+		cache:    newLRUCache(cfg.CacheSize),
+		inflight: make(map[cacheKey]*flight),
+		syncSem:  make(chan struct{}, cfg.Workers),
+		start:    time.Now(),
+	}
+	s.jobs = newJobManager(s, cfg.Workers, cfg.QueueDepth)
+	s.mux = s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops accepting jobs and blocks until in-flight jobs finish.
+// Queued jobs that have not started are marked failed.
+func (s *Server) Close() {
+	s.jobs.close()
+}
+
+// acquireSync/releaseSync bound the number of request goroutines running
+// graph-sized computations concurrently.
+func (s *Server) acquireSync() { s.syncSem <- struct{}{} }
+func (s *Server) releaseSync() { <-s.syncSem }
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+
+	mux.HandleFunc("GET /graphs", s.handleListGraphs)
+	mux.HandleFunc("POST /graphs/{name}", s.handleUploadGraph)
+	mux.HandleFunc("POST /graphs/{name}/generate", s.handleGenerateGraph)
+	mux.HandleFunc("GET /graphs/{name}", s.handleGetGraph)
+	mux.HandleFunc("DELETE /graphs/{name}", s.handleDeleteGraph)
+
+	mux.HandleFunc("POST /jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /jobs", s.handleListJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+
+	mux.HandleFunc("POST /estimate/core", s.handleEstimateCore)
+	mux.HandleFunc("POST /estimate/truss", s.handleEstimateTruss)
+
+	mux.HandleFunc("GET /graphs/{name}/hierarchy", s.handleHierarchy)
+	mux.HandleFunc("GET /graphs/{name}/nuclei", s.handleNuclei)
+	mux.HandleFunc("GET /graphs/{name}/densest", s.handleDensest)
+	return mux
+}
