@@ -134,9 +134,11 @@ func DefaultThreads() int { return localhi.DefaultThreads() }
 // size, job queue depth, LRU result cache capacity and upload limits.
 type ServerConfig = server.Config
 
-// Server is the nucleusd HTTP serving layer: a graph registry, an async
-// decomposition job queue with an LRU result cache, and synchronous
-// query-driven estimation, hierarchy and densest-subgraph endpoints. It
+// Server is the nucleusd HTTP serving layer: a graph registry with
+// incremental edge mutations (core numbers repaired locally and cache
+// entries warm-started across versions), an async decomposition job queue
+// with an LRU result cache, and synchronous query-driven estimation,
+// core-number lookup, hierarchy and densest-subgraph endpoints. It
 // implements http.Handler; see docs/API.md for the endpoint reference.
 type Server = server.Server
 

@@ -49,6 +49,28 @@ func run(args []string) error {
 		return err
 	}
 
+	// Reject nonsensical sizes outright instead of silently substituting
+	// defaults: a -cache 0 that quietly became 32 would mask an operator
+	// mistake (and a non-positive capacity used to make the LRU evict its
+	// own insertions).
+	for _, f := range []struct {
+		name  string
+		value int
+	}{
+		{"workers", *workers},
+		{"queue", *queueDepth},
+		{"cache", *cacheSize},
+		{"job-threads", *jobThreads},
+		{"job-history", *jobHistory},
+	} {
+		if f.value <= 0 {
+			return fmt.Errorf("-%s must be a positive integer (got %d)", f.name, f.value)
+		}
+	}
+	if *maxUpload <= 0 {
+		return fmt.Errorf("-max-upload-mb must be a positive integer (got %d)", *maxUpload)
+	}
+
 	srv := root.NewServer(root.ServerConfig{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,

@@ -1,10 +1,34 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}); err == nil {
 		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunRejectsNonPositiveSizes(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "0"},
+		{"-workers", "-3"},
+		{"-queue", "0"},
+		{"-cache", "0"},
+		{"-cache", "-1"},
+		{"-job-threads", "0"},
+		{"-job-history", "-5"},
+		{"-max-upload-mb", "0"},
+	} {
+		err := run(args)
+		if err == nil {
+			t.Fatalf("%v: expected a validation error", args)
+		}
+		if !strings.Contains(err.Error(), "positive") {
+			t.Fatalf("%v: unhelpful error %q", args, err)
+		}
 	}
 }
 

@@ -37,6 +37,17 @@ func New(n int) *Graph {
 // FromStatic initializes a dynamic graph from a static one, computing core
 // numbers from scratch.
 func FromStatic(sg *graph.Graph) *Graph {
+	return FromStaticCores(sg, peel.Run(nucleus.NewCore(sg)).Kappa)
+}
+
+// FromStaticCores initializes a dynamic graph from a static snapshot whose
+// exact core numbers are already known (e.g. from a cached decomposition),
+// skipping the cold peel of FromStatic. kappa is copied; it must be the
+// exact core numbers of sg, or later incremental repairs will drift.
+func FromStaticCores(sg *graph.Graph, kappa []int32) *Graph {
+	if len(kappa) != sg.N() {
+		panic("dynamic: core-number length does not match the graph")
+	}
 	g := New(sg.N())
 	for u := 0; u < sg.N(); u++ {
 		for _, v := range sg.Neighbors(uint32(u)) {
@@ -45,8 +56,17 @@ func FromStatic(sg *graph.Graph) *Graph {
 			}
 		}
 	}
-	g.kappa = peel.Run(nucleus.NewCore(sg)).Kappa
+	copy(g.kappa, kappa)
 	return g
+}
+
+// Grow extends the graph to n vertices; new vertices start isolated with
+// κ = 0. No-op when n <= N().
+func (g *Graph) Grow(n int) {
+	for len(g.adj) < n {
+		g.adj = append(g.adj, make(map[uint32]struct{}))
+		g.kappa = append(g.kappa, 0)
+	}
 }
 
 // N returns the vertex count.

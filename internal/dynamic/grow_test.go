@@ -1,0 +1,71 @@
+package dynamic
+
+import (
+	"testing"
+
+	"nucleus/internal/graph"
+	"nucleus/internal/nucleus"
+	"nucleus/internal/peel"
+)
+
+func TestGrowAddsIsolatedVertices(t *testing.T) {
+	g := New(3)
+	g.InsertEdge(0, 1)
+	g.Grow(6)
+	if g.N() != 6 {
+		t.Fatalf("N = %d, want 6", g.N())
+	}
+	g.Grow(4) // shrink request is a no-op
+	if g.N() != 6 {
+		t.Fatalf("N after no-op grow = %d", g.N())
+	}
+	for v := uint32(3); v < 6; v++ {
+		if g.Degree(v) != 0 || g.CoreNumber(v) != 0 {
+			t.Fatalf("grown vertex %d not isolated: deg=%d κ=%d", v, g.Degree(v), g.CoreNumber(v))
+		}
+	}
+	// Edges into the grown range repair κ correctly.
+	g.InsertEdge(3, 4)
+	g.InsertEdge(4, 5)
+	g.InsertEdge(3, 5)
+	assertKappa(t, g, "triangle in grown range")
+}
+
+func TestFromStaticCoresSkipsColdPeel(t *testing.T) {
+	sg := graph.PowerLawCluster(150, 4, 0.5, 91)
+	kappa := peel.Run(nucleus.NewCore(sg)).Kappa
+	g := FromStaticCores(sg, kappa)
+	if g.N() != sg.N() || g.M() != sg.M() {
+		t.Fatalf("shape mismatch: (%d,%d) vs (%d,%d)", g.N(), g.M(), sg.N(), sg.M())
+	}
+	assertKappa(t, g, "seeded from cores")
+	g.InsertEdge(0, 50)
+	g.RemoveEdge(0, 50)
+	assertKappa(t, g, "after mutations on seeded graph")
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on core-number length mismatch")
+		}
+	}()
+	FromStaticCores(sg, kappa[:10])
+}
+
+// TestWarmTrussGrownGraph: warm truss reconvergence must survive newG
+// having vertices beyond oldG's range (this used to index oldG out of
+// bounds inside EdgeID).
+func TestWarmTrussGrownGraph(t *testing.T) {
+	g := graph.PowerLawCluster(80, 4, 0.5, 93)
+	oldKappa := peel.Run(nucleus.NewTruss(g)).Kappa
+	edges := g.Edges()
+	// A new triangle hanging off the old graph through a new vertex.
+	edges = append(edges, [2]uint32{80, 0}, [2]uint32{80, 1}, [2]uint32{0, 1})
+	newG := graph.Build(81, edges)
+	warm := WarmTrussNumbers(newG, g, oldKappa, 3)
+	want := peel.Run(nucleus.NewTruss(newG)).Kappa
+	for e := range want {
+		if warm.Tau[e] != want[e] {
+			t.Fatalf("edge %d: warm %d, want %d", e, warm.Tau[e], want[e])
+		}
+	}
+}

@@ -21,6 +21,12 @@ import (
 // inserted since. Vertices must keep their ids; newG may also have grown
 // (new vertices start from their degree). Removals need no accounting.
 func WarmCoreNumbers(newG *graph.Graph, oldKappa []int32, inserts int) *localhi.Result {
+	return WarmCoreNumbersOn(nucleus.NewCore(newG), newG, oldKappa, inserts, 1)
+}
+
+// WarmCoreNumbersOn is WarmCoreNumbers against a caller-supplied (1,2)
+// instance of newG (e.g. a memoized one) with an explicit worker count.
+func WarmCoreNumbersOn(inst nucleus.Instance, newG *graph.Graph, oldKappa []int32, inserts int, threads int) *localhi.Result {
 	n := newG.N()
 	seed := make([]int32, n)
 	for v := 0; v < n; v++ {
@@ -30,10 +36,11 @@ func WarmCoreNumbers(newG *graph.Graph, oldKappa []int32, inserts int) *localhi.
 			seed[v] = int32(newG.Degree(uint32(v))) // new vertex: cold start
 		}
 	}
-	return localhi.And(nucleus.NewCore(newG), localhi.Options{
+	return localhi.And(inst, localhi.Options{
 		InitialTau:   seed,
 		Notification: true,
 		Preserve:     true,
+		Threads:      threads,
 	})
 }
 
@@ -42,10 +49,19 @@ func WarmCoreNumbers(newG *graph.Graph, oldKappa []int32, inserts int) *localhi.
 // edges surviving from oldG start at their old κ plus the insert count;
 // new edges start cold at their triangle count.
 func WarmTrussNumbers(newG, oldG *graph.Graph, oldKappa []int32, inserts int) *localhi.Result {
-	inst := nucleus.NewTruss(newG)
+	return WarmTrussNumbersOn(nucleus.NewTruss(newG), newG, oldG, oldKappa, inserts, 1)
+}
+
+// WarmTrussNumbersOn is WarmTrussNumbers against a caller-supplied (2,3)
+// instance of newG with an explicit worker count.
+func WarmTrussNumbersOn(inst nucleus.Instance, newG, oldG *graph.Graph, oldKappa []int32, inserts int, threads int) *localhi.Result {
 	seed := inst.Degrees() // cold default for new edges
+	oldN := uint32(oldG.N())
 	for e := int64(0); e < newG.M(); e++ {
 		u, v := newG.Edge(e)
+		if u >= oldN || v >= oldN {
+			continue // endpoint grown since oldG: necessarily a new edge
+		}
 		if oldE, ok := oldG.EdgeID(u, v); ok {
 			warm := oldKappa[oldE] + int32(inserts)
 			if warm < seed[e] {
@@ -57,5 +73,6 @@ func WarmTrussNumbers(newG, oldG *graph.Graph, oldKappa []int32, inserts int) *l
 		InitialTau:   seed,
 		Notification: true,
 		Preserve:     true,
+		Threads:      threads,
 	})
 }

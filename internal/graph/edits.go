@@ -1,0 +1,51 @@
+package graph
+
+// EdgeEdit is one entry of an edit batch: Add inserts {U,V}, otherwise the
+// edit removes it. Self-loops and redundant edits (inserting a present
+// edge, removing an absent one) are no-ops.
+type EdgeEdit struct {
+	Add  bool
+	U, V uint32
+}
+
+// ApplyEdits rebuilds g with an edit batch applied, returning a fresh
+// immutable CSR graph. The vertex count grows to cover every inserted
+// edge's endpoints and at least n (pass n <= g.N() to keep the current
+// count); removals never grow the graph and removals naming out-of-range
+// vertices are ignored. This is the cold rebuild path — O(m + edits) —
+// used as the reference for the incremental maintenance in package
+// dynamic, which repairs core numbers locally instead of rebuilding.
+//
+// Edge ids of the result are assigned canonically by Build, so two graphs
+// with the same edge set get identical ids regardless of edit order.
+func ApplyEdits(g *Graph, n int, edits []EdgeEdit) *Graph {
+	if n < g.N() {
+		n = g.N()
+	}
+	set := make(map[[2]uint32]struct{}, int(g.M())+len(edits))
+	for _, e := range g.Edges() {
+		set[e] = struct{}{}
+	}
+	for _, ed := range edits {
+		u, v := ed.U, ed.V
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if ed.Add {
+			if int(v) >= n {
+				n = int(v) + 1
+			}
+			set[[2]uint32{u, v}] = struct{}{}
+		} else if int(v) < n {
+			delete(set, [2]uint32{u, v})
+		}
+	}
+	edges := make([][2]uint32, 0, len(set))
+	for e := range set {
+		edges = append(edges, e)
+	}
+	return Build(n, edges)
+}

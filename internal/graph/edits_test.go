@@ -1,0 +1,60 @@
+package graph
+
+import "testing"
+
+func TestApplyEdits(t *testing.T) {
+	g := Build(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}})
+
+	out := ApplyEdits(g, 0, []EdgeEdit{
+		{Add: true, U: 0, V: 2}, // new edge
+		{Add: true, U: 2, V: 1}, // duplicate (reversed) — no-op
+		{Add: true, U: 3, V: 3}, // self-loop — no-op
+		{U: 2, V: 3},            // remove
+		{U: 0, V: 3},            // remove absent — no-op
+		{U: 9, V: 10},           // remove out of range — no-op, no growth
+		{Add: true, U: 5, V: 1}, // grows to 6 vertices
+	})
+	if out.N() != 6 {
+		t.Fatalf("N = %d, want 6", out.N())
+	}
+	if out.M() != 4 {
+		t.Fatalf("M = %d, want 4", out.M())
+	}
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {1, 5}} {
+		if !out.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+	if out.HasEdge(2, 3) {
+		t.Fatal("removed edge survived")
+	}
+	// Original untouched.
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("input mutated: n=%d m=%d", g.N(), g.M())
+	}
+
+	// Explicit vertex-count floor.
+	grown := ApplyEdits(g, 10, nil)
+	if grown.N() != 10 || grown.M() != 3 {
+		t.Fatalf("floor grow: n=%d m=%d", grown.N(), grown.M())
+	}
+}
+
+// TestApplyEditsCanonicalIDs: the same edge set reached through different
+// edit orders yields identical edge ids — the property the warm truss
+// seeding and the serving layer's cache rely on.
+func TestApplyEditsCanonicalIDs(t *testing.T) {
+	g := Build(5, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	a := ApplyEdits(g, 0, []EdgeEdit{{Add: true, U: 0, V: 4}, {U: 1, V: 2}})
+	b := ApplyEdits(g, 0, []EdgeEdit{{U: 2, V: 1}, {Add: true, U: 4, V: 0}})
+	if a.M() != b.M() {
+		t.Fatalf("edge counts differ: %d vs %d", a.M(), b.M())
+	}
+	for e := int64(0); e < a.M(); e++ {
+		au, av := a.Edge(e)
+		bu, bv := b.Edge(e)
+		if au != bu || av != bv {
+			t.Fatalf("edge id %d: (%d,%d) vs (%d,%d)", e, au, av, bu, bv)
+		}
+	}
+}

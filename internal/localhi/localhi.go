@@ -260,24 +260,35 @@ func And(inst nucleus.Instance, opts Options) *Result {
 		return updates
 	}
 
+	// Every sweep — notification, certification and repair alike — counts
+	// against the budget, so a bounded run can never report
+	// Sweeps > MaxSweeps. The check sits at the loop head: when the budget
+	// is exhausted the run stops uncertified and returns the intermediate
+	// τ, which is still a valid approximation (τ ≥ κ, Theorem 1).
 	for {
-		updates := runSweep(false)
-		if updates == 0 {
-			if active != nil {
-				// Certify the fixpoint with one full sweep that ignores the
-				// notification flags; in the benign-race worst case this
-				// degenerates to a synchronous sweep (§4.2.1).
-				if runSweep(true) == 0 {
-					res.Converged = true
-					break
-				}
-				continue
-			}
-			res.Converged = true
-			break
-		}
 		if opts.MaxSweeps > 0 && res.Sweeps >= opts.MaxSweeps {
 			break
+		}
+		updates := runSweep(false)
+		if updates == 0 {
+			if active == nil {
+				res.Converged = true
+				break
+			}
+			if opts.MaxSweeps > 0 && res.Sweeps >= opts.MaxSweeps {
+				// No budget left for certification: the plateau is very
+				// likely the fixpoint, but without the certifying sweep we
+				// must not claim convergence.
+				break
+			}
+			// Certify the fixpoint with one full sweep that ignores the
+			// notification flags; in the benign-race worst case this
+			// degenerates to a synchronous sweep (§4.2.1). A non-zero
+			// certification sweep re-enters the loop (and the budget check).
+			if runSweep(true) == 0 {
+				res.Converged = true
+				break
+			}
 		}
 	}
 	res.Tau = tau
@@ -330,8 +341,9 @@ func computeTauAtomic(inst nucleus.Instance, c int32, tau []int32, buf *[]int32)
 // computeTauPreserve is computeTau with the §4.4 early-exit: once cur
 // s-cliques with ρ >= cur have been seen, the current index is preserved
 // and enumeration stops. Monotonicity makes this sound — the h-index of
-// the full ρ list cannot exceed cur, and cur supports certify it equals
-// cur. Cells already at zero skip enumeration entirely.
+// the full ρ list cannot exceed cur, and cur supporting s-cliques (each
+// with ρ >= cur) certify that it equals cur. Cells already at zero skip
+// enumeration entirely.
 func computeTauPreserve(inst nucleus.Instance, c int32, tau []int32, buf *[]int32, cur int32, par bool) (int32, int64) {
 	if cur <= 0 {
 		return 0, 0

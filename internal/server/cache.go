@@ -48,6 +48,12 @@ type lruEntry struct {
 }
 
 func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		// A non-positive capacity would make put evict its own insertion
+		// (the len > cap loop below), silently disabling the cache; clamp
+		// to the smallest real cache instead.
+		capacity = 1
+	}
 	return &lruCache{
 		cap:   capacity,
 		ll:    list.New(),
@@ -80,6 +86,19 @@ func (c *lruCache) put(k cacheKey, v *decompResult) {
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
 	}
+}
+
+// peek returns the entry for k without promoting it in the LRU order.
+// Used by internal scans (e.g. warm-start seeding) that should not
+// distort the eviction order the way client traffic does.
+func (c *lruCache) peek(k cacheKey) (*decompResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*lruEntry).val, true
 }
 
 // purgeGraph removes every entry for the named graph with version below

@@ -71,12 +71,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	UptimeSeconds float64    `json:"uptimeSeconds"`
-	Requests      int64      `json:"requests"`
-	Graphs        int        `json:"graphs"`
-	Workers       int        `json:"workers"`
-	Jobs          jobsStats  `json:"jobs"`
-	Cache         cacheStats `json:"cache"`
+	UptimeSeconds float64       `json:"uptimeSeconds"`
+	Requests      int64         `json:"requests"`
+	Graphs        int           `json:"graphs"`
+	Workers       int           `json:"workers"`
+	Jobs          jobsStats     `json:"jobs"`
+	Cache         cacheStats    `json:"cache"`
+	Mutations     mutationStats `json:"mutations"`
 }
 
 type jobsStats struct {
@@ -88,14 +89,38 @@ type jobsStats struct {
 }
 
 type cacheStats struct {
-	Hits     int64 `json:"hits"`
-	Misses   int64 `json:"misses"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Lookups is hits + misses: the number of decomposition requests
+	// resolved against the cache (per-request accounting — a coalesced
+	// request counts as one hit).
+	Lookups  int64 `json:"lookups"`
 	Entries  int   `json:"entries"`
 	Capacity int   `json:"capacity"`
 }
 
+// mutationStats reports the mutation path and its warm-start savings.
+type mutationStats struct {
+	// Batches is the number of published edit batches; Applied/Ignored
+	// count individual edits.
+	Batches int64 `json:"batches"`
+	Applied int64 `json:"applied"`
+	Ignored int64 `json:"ignored"`
+	// WarmRuns is the number of warm-started reconvergence runs seeded
+	// from a previous version's κ; ColdRuns counts full decompositions
+	// actually executed by the engines.
+	WarmRuns int64 `json:"warmRuns"`
+	ColdRuns int64 `json:"coldRuns"`
+	// WarmSweeps is the total sweeps warm runs needed; SweepsSaved sums,
+	// per warm run, the sweeps of the cold run it was seeded from minus
+	// its own (0 when the seed came from peeling, which reports none).
+	WarmSweeps  int64 `json:"warmSweeps"`
+	SweepsSaved int64 `json:"sweepsSaved"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	queued, running := s.jobs.counts()
+	hits, misses := s.cacheHits.Load(), s.cacheMisses.Load()
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
@@ -109,10 +134,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Failed:    int(s.jobs.failed.Load()),
 		},
 		Cache: cacheStats{
-			Hits:     s.cacheHits.Load(),
-			Misses:   s.cacheMisses.Load(),
+			Hits:     hits,
+			Misses:   misses,
+			Lookups:  hits + misses,
 			Entries:  s.cache.len(),
 			Capacity: s.cfg.CacheSize,
+		},
+		Mutations: mutationStats{
+			Batches:     s.mutBatches.Load(),
+			Applied:     s.mutApplied.Load(),
+			Ignored:     s.mutIgnored.Load(),
+			WarmRuns:    s.warmRuns.Load(),
+			ColdRuns:    s.coldRuns.Load(),
+			WarmSweeps:  s.warmSweeps.Load(),
+			SweepsSaved: s.sweepsSaved.Load(),
 		},
 	})
 }
@@ -121,15 +156,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // Graph registry.
 
 type graphView struct {
-	Name      string    `json:"name"`
-	N         int       `json:"n"`
-	M         int64     `json:"m"`
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	M    int64  `json:"m"`
+	// Version is the registry version of this graph; edit batches and
+	// re-uploads bump it (cached results are keyed by it).
+	Version uint64 `json:"version"`
+	// Mutations is the number of edit batches applied to reach this
+	// version (0 for a fresh upload/generation).
+	Mutations int       `json:"mutations"`
 	Source    string    `json:"source"`
 	CreatedAt time.Time `json:"createdAt"`
 }
 
 func viewGraph(e *graphEntry) graphView {
-	return graphView{Name: e.name, N: e.g.N(), M: e.g.M(), Source: e.source, CreatedAt: e.created}
+	return graphView{
+		Name: e.name, N: e.g.N(), M: e.g.M(),
+		Version: e.version, Mutations: e.mutations,
+		Source: e.source, CreatedAt: e.created,
+	}
 }
 
 func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {

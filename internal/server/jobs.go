@@ -144,7 +144,11 @@ func (m *jobManager) submit(req jobRequest) (*job, error) {
 		m.prune()
 		return j, nil
 	}
-	m.s.cacheMisses.Add(1)
+	// Not counted as a miss yet: whether this request was ultimately a hit
+	// (the key got cached, or the run coalesced onto an in-flight
+	// computation) or a miss (the worker computed it) is only known when
+	// the job runs — run() does the accounting, keeping the per-request
+	// invariant hits + misses == resolved requests.
 
 	m.mu.Lock()
 	if m.closed {
@@ -204,6 +208,9 @@ func (m *jobManager) worker() {
 			j.finished = time.Now()
 			j.mu.Unlock()
 			m.failed.Add(1)
+			// Resolve the deferred accounting even on shutdown, so the
+			// hits+misses invariant holds across Close.
+			m.s.cacheMisses.Add(1)
 			continue
 		}
 		m.run(j)
@@ -221,6 +228,13 @@ func (m *jobManager) run(j *job) {
 		threads = m.s.cfg.JobThreads
 	}
 	res, shared, err := m.s.computeShared(j.key, j.entry, threads, j.req.MaxSweeps)
+	// Deferred per-request cache accounting (see submit): shared covers
+	// both a post-submit cache fill and coalescing onto another caller.
+	if shared {
+		m.s.cacheHits.Add(1)
+	} else {
+		m.s.cacheMisses.Add(1)
+	}
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -412,13 +426,15 @@ func (s *Server) kappaFor(entry *graphEntry, dec, alg string, maxSweeps int) (*d
 	s.acquireSync()
 	defer s.releaseSync()
 	res, shared, err := s.computeShared(key, entry, s.cfg.JobThreads, maxSweeps)
-	if err != nil {
-		return nil, err
-	}
+	// Count before the error check so a failed computation still resolves
+	// this request's accounting (as a miss).
 	if shared {
 		s.cacheHits.Add(1)
 	} else {
 		s.cacheMisses.Add(1)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -442,6 +458,7 @@ func (s *Server) computeShared(key cacheKey, entry *graphEntry, threads, maxSwee
 	s.inflight[key] = f
 	s.flightMu.Unlock()
 
+	s.coldRuns.Add(1)
 	f.res, f.err = runDecomposition(entry, key.dec, key.alg, threads, maxSweeps)
 	if f.err == nil {
 		s.cache.put(key, f.res)

@@ -1,0 +1,377 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"nucleus/internal/dynamic"
+	"nucleus/internal/localhi"
+)
+
+// ---------------------------------------------------------------------------
+// Incremental edge mutations (POST /graphs/{name}/edges).
+//
+// The paper's premise (§1.2) is that κ indices depend only on local
+// structure, so an edited graph should never pay a cold full-graph
+// decomposition. The mutation path exploits that twice:
+//
+//   - core numbers are repaired *during* the batch by the subcore
+//     traversal of package dynamic (each edit touches only the κ=k region
+//     around the edge), keeping an exact maintained κ array;
+//   - the decomposition cache for the republished version is warm-seeded
+//     from the previous version's cached κ via the Lemma 2 warm start
+//     (old κ + insert count is a valid upper start), so the next
+//     core/truss request reconverges in a few sweeps instead of from the
+//     degrees.
+//
+// Publication is copy-on-write: the mutable overlay is snapshotted into a
+// fresh immutable CSR graph installed under a bumped version, so jobs
+// in flight on the previous version keep their consistent snapshot.
+
+// edgeOp is one edit of a mutation batch.
+type edgeOp struct {
+	// Op is "add" or "remove".
+	Op string `json:"op"`
+	U  uint32 `json:"u"`
+	V  uint32 `json:"v"`
+}
+
+// mutateRequest is the JSON body of POST /graphs/{name}/edges.
+type mutateRequest struct {
+	Edits []edgeOp `json:"edits"`
+	// GrowTo optionally raises the vertex count beyond the largest edit
+	// endpoint (for trailing isolated vertices). Added edges grow the
+	// graph implicitly.
+	GrowTo int `json:"growTo"`
+}
+
+// mutateResponse reports one applied batch.
+type mutateResponse struct {
+	Graph   string `json:"graph"`
+	Version uint64 `json:"version"`
+	N       int    `json:"n"`
+	M       int64  `json:"m"`
+	// Added/Removed count edits that changed the graph; Ignored counts
+	// no-ops (duplicate adds, absent removes, self-loops, out-of-range
+	// removes).
+	Added   int `json:"added"`
+	Removed int `json:"removed"`
+	Ignored int `json:"ignored"`
+	// MaxCore is the maximum maintained core number after the batch.
+	MaxCore int32 `json:"maxCore"`
+	// WarmSeeded lists the decompositions whose cache entries for the new
+	// version were re-derived by warm-started reconvergence.
+	WarmSeeded []string `json:"warmSeeded"`
+}
+
+func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req mutateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Edits) == 0 {
+		writeError(w, http.StatusBadRequest, "edits must be non-empty")
+		return
+	}
+	for i, ed := range req.Edits {
+		if ed.Op != "add" && ed.Op != "remove" {
+			writeError(w, http.StatusBadRequest, "edit %d: unknown op %q (want add or remove)", i, ed.Op)
+			return
+		}
+	}
+
+	// Cheap existence pre-check before creating a per-name mutation lock:
+	// without it, requests naming junk graphs would grow the lock map
+	// without bound (locks are deliberately retained across versions).
+	if _, ok := s.reg.get(name); !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+		return
+	}
+
+	// Serialize edit batches per name; uploads/generates do not take this
+	// lock, so publication below re-validates the version (replaceIf).
+	lock := s.reg.mutationLock(name)
+	lock.Lock()
+	defer lock.Unlock()
+
+	e, ok := s.reg.get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+		return
+	}
+
+	// Resolve the target vertex count before touching anything, and bound
+	// it. int64 arithmetic so an add naming vertex 2^31-1 overflows
+	// nothing on 32-bit platforms and hits the ceiling check below.
+	needN := int64(e.g.N())
+	if int64(req.GrowTo) > needN {
+		needN = int64(req.GrowTo)
+	}
+	for _, ed := range req.Edits {
+		if ed.Op != "add" || ed.U == ed.V {
+			// Self-loop adds are rejected below; they must not grow the
+			// graph either.
+			continue
+		}
+		if n := int64(ed.U) + 1; n > needN {
+			needN = n
+		}
+		if n := int64(ed.V) + 1; n > needN {
+			needN = n
+		}
+	}
+	if needN > maxGenVertices {
+		writeError(w, http.StatusBadRequest, "mutation would grow the graph to %d vertices, exceeding the limit of %d", needN, maxGenVertices)
+		return
+	}
+
+	// Overlay repair, snapshot and warm seeding are graph-sized work on a
+	// request goroutine; take a sync slot like the other such endpoints.
+	s.acquireSync()
+	defer s.releaseSync()
+
+	dyn := e.dyn
+	if dyn == nil {
+		// First mutation of this lineage: build the overlay, seeding its
+		// core numbers from a cached exact decomposition when one exists
+		// (skipping FromStatic's cold peel).
+		if seed := s.exactCoreKappa(e); seed != nil {
+			dyn = dynamic.FromStaticCores(e.g, seed)
+		} else {
+			dyn = dynamic.FromStatic(e.g)
+		}
+	}
+	dyn.Grow(int(needN)) // needN <= maxGenVertices, so the int conversion is safe
+
+	var added, removed, ignored int
+	for _, ed := range req.Edits {
+		switch {
+		case ed.Op == "add" && dyn.InsertEdge(ed.U, ed.V):
+			added++
+		case ed.Op == "remove" && int(ed.U) < dyn.N() && int(ed.V) < dyn.N() && dyn.RemoveEdge(ed.U, ed.V):
+			removed++
+		default:
+			ignored++
+		}
+	}
+
+	if added == 0 && removed == 0 && dyn.N() == e.g.N() {
+		// Fully no-op batch (e.g. an idempotent retry): the graph is
+		// bit-identical, so don't republish — a version bump would purge
+		// every cache entry the warm seeder does not re-derive (n34, snd,
+		// bounded runs) and pay an O(m) snapshot for nothing. Keep the
+		// (possibly just-built) overlay for the next batch; e.dyn is only
+		// touched under the per-name mutation lock held here.
+		e.dyn = dyn
+		s.mutIgnored.Add(int64(ignored))
+		writeJSON(w, http.StatusOK, mutateResponse{
+			Graph:      name,
+			Version:    e.version,
+			N:          e.g.N(),
+			M:          e.g.M(),
+			Ignored:    ignored,
+			MaxCore:    maxOf(dyn.CoreNumbers()),
+			WarmSeeded: []string{},
+		})
+		return
+	}
+
+	// Copy-on-write publication: snapshot the overlay into a fresh
+	// immutable entry. In-flight work on the old version keeps its graph.
+	kappa := append([]int32(nil), dyn.CoreNumbers()...)
+	ne := &graphEntry{
+		name:      name,
+		g:         dyn.Static(),
+		source:    e.source,
+		created:   e.created,
+		dyn:       dyn,
+		coreKappa: kappa,
+		mutations: e.mutations + 1,
+	}
+	if !s.reg.replaceIf(name, e.version, ne) {
+		// The graph was deleted or re-uploaded while we applied the batch:
+		// our edits are against a dead snapshot.
+		writeError(w, http.StatusConflict, "graph %q was replaced concurrently; re-fetch and retry", name)
+		return
+	}
+	s.mutBatches.Add(1)
+	s.mutApplied.Add(int64(added + removed))
+	s.mutIgnored.Add(int64(ignored))
+
+	// Warm-seed the new version's cache from the old version's results,
+	// then purge the now-stale entries (the seeds carry the new version
+	// and survive the purge).
+	warmSeeded := s.warmSeed(e, ne, added)
+	s.cache.purgeGraph(name, ne.version)
+
+	writeJSON(w, http.StatusOK, mutateResponse{
+		Graph:      name,
+		Version:    ne.version,
+		N:          ne.g.N(),
+		M:          ne.g.M(),
+		Added:      added,
+		Removed:    removed,
+		Ignored:    ignored,
+		MaxCore:    maxOf(kappa),
+		WarmSeeded: warmSeeded,
+	})
+}
+
+func maxOf(kappa []int32) int32 {
+	m := int32(0)
+	for _, k := range kappa {
+		if k > m {
+			m = k
+		}
+	}
+	return m
+}
+
+// exactCoreKappa returns an exact (converged, unbounded) core-number array
+// for the entry from the result cache, or nil.
+func (s *Server) exactCoreKappa(e *graphEntry) []int32 {
+	if res := s.convergedResult(e, "core"); res != nil {
+		return res.Kappa
+	}
+	return nil
+}
+
+// convergedResult returns a cached converged full-budget decomposition of
+// the entry for dec under any algorithm, preferring the local algorithms
+// (whose Sweeps field makes the warm saving measurable).
+func (s *Server) convergedResult(e *graphEntry, dec string) *decompResult {
+	for _, alg := range []string{"and", "snd", "peel"} {
+		if res, ok := s.cache.peek(cacheKey{e.name, e.version, dec, alg, 0}); ok && res.Converged {
+			return res
+		}
+	}
+	return nil
+}
+
+// warmSeed re-derives the new version's core/truss cache entries by
+// Lemma 2 warm-started reconvergence instead of letting the next request
+// pay a cold run. Seeding happens only for decompositions the previous
+// version had a cached converged result for (demonstrated interest), and
+// lands under the (dec, "and", 0) key — the warm runs ARE converged And
+// runs — which is exactly the key the default job/hierarchy path
+// consults. Returns the seeded decomposition names.
+//
+// Core gets the tightest possible start: the overlay's incrementally
+// maintained κ is already exact for the NEW graph, so the run starts at
+// the fixpoint (bump 0) and needs only one scan plus the certification
+// sweep — it doubles as a convergence check of the maintained array.
+// Truss has no maintained counterpart, so it starts from the previous
+// version's κ bumped by the insert count (each insertion raises truss
+// numbers by at most one).
+func (s *Server) warmSeed(old, ne *graphEntry, inserts int) []string {
+	seeded := []string{} // non-nil so the response field is [] rather than null
+	threads := s.cfg.JobThreads
+	var keys []cacheKey
+	if seedRes := s.convergedResult(old, "core"); seedRes != nil {
+		inst := ne.instance("core")
+		lr := dynamic.WarmCoreNumbersOn(inst, ne.g, ne.coreKappa, 0, threads)
+		s.recordWarm(seedRes, lr)
+		k := cacheKey{ne.name, ne.version, "core", "and", 0}
+		s.cache.put(k, localResult(lr, inst))
+		keys = append(keys, k)
+		seeded = append(seeded, "core")
+	}
+	if seedRes := s.convergedResult(old, "truss"); seedRes != nil {
+		inst := ne.instance("truss")
+		lr := dynamic.WarmTrussNumbersOn(inst, ne.g, old.g, seedRes.Kappa, inserts, threads)
+		s.recordWarm(seedRes, lr)
+		k := cacheKey{ne.name, ne.version, "truss", "and", 0}
+		s.cache.put(k, localResult(lr, inst))
+		keys = append(keys, k)
+		seeded = append(seeded, "truss")
+	}
+	// Liveness recheck, mirroring computeShared: if ne was itself replaced
+	// (or the graph deleted) while the warm runs executed, that
+	// replacement's purge may have run before our puts — take the dead
+	// entries back out rather than pinning κ arrays and s-clique indices
+	// in the LRU unreachable.
+	if cur, ok := s.reg.get(ne.name); !ok || cur.version != ne.version {
+		for _, k := range keys {
+			s.cache.remove(k)
+		}
+	}
+	return seeded
+}
+
+// recordWarm updates the warm-start counters: the sweeps the warm run
+// spent, and — when the seed result came from a sweep-reporting local
+// algorithm — the sweeps saved relative to that cold run.
+func (s *Server) recordWarm(seed *decompResult, lr *localhi.Result) {
+	s.warmRuns.Add(1)
+	s.warmSweeps.Add(int64(lr.Sweeps))
+	if seed.Sweeps > lr.Sweeps {
+		s.sweepsSaved.Add(int64(seed.Sweeps - lr.Sweeps))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Maintained core-number point lookups (GET /graphs/{name}/core?v=…).
+
+// coreLookupResponse answers a point lookup of core numbers.
+type coreLookupResponse struct {
+	Graph   string `json:"graph"`
+	Version uint64 `json:"version"`
+	// Maintained is true when the answer came straight from the κ array
+	// kept up to date by the mutation path (O(1) per vertex); false when
+	// it was served from a (possibly freshly computed) cached full
+	// decomposition.
+	Maintained  bool     `json:"maintained"`
+	Vertices    []uint32 `json:"vertices"`
+	CoreNumbers []int32  `json:"coreNumbers"`
+}
+
+func (s *Server) handleCoreLookup(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("name"))
+		return
+	}
+	raw := r.URL.Query()["v"]
+	if len(raw) == 0 {
+		writeError(w, http.StatusBadRequest, "at least one v=<vertex id> parameter is required")
+		return
+	}
+	vertices := make([]uint32, 0, len(raw))
+	for _, sv := range raw {
+		v, err := strconv.ParseUint(sv, 10, 32)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid v=%q: want a vertex id", sv)
+			return
+		}
+		if int(v) >= e.g.N() {
+			writeError(w, http.StatusBadRequest, "vertex %d out of range (n=%d)", v, e.g.N())
+			return
+		}
+		vertices = append(vertices, uint32(v))
+	}
+
+	kappa := e.coreKappa
+	maintained := kappa != nil
+	if !maintained {
+		// Never-mutated graph: fall back to the cache-backed decomposition
+		// path (cheap after the first request).
+		res, err := s.kappaFor(e, "core", "and", 0)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		kappa = res.Kappa
+	}
+	out := coreLookupResponse{
+		Graph:       e.name,
+		Version:     e.version,
+		Maintained:  maintained,
+		Vertices:    vertices,
+		CoreNumbers: make([]int32, len(vertices)),
+	}
+	for i, v := range vertices {
+		out.CoreNumbers[i] = kappa[v]
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"nucleus/internal/densest"
+	"nucleus/internal/dynamic"
 	"nucleus/internal/graph"
 	"nucleus/internal/nucleus"
 )
@@ -37,6 +38,19 @@ type graphEntry struct {
 	// requests pay it once per graph.
 	instMu   sync.Mutex
 	instMemo map[string]nucleus.Instance
+
+	// dyn is the mutable adjacency overlay with incrementally maintained
+	// core numbers (subcore traversal). It is created on the first edit
+	// batch and carried forward to each successor version of the same
+	// name; it is only ever touched while holding the registry's per-name
+	// mutation lock, so it is NOT safe to read from request handlers.
+	dyn *dynamic.Graph
+	// coreKappa is an immutable snapshot of the maintained core numbers
+	// taken when this version was published (nil for versions that have
+	// never been mutated). GET /graphs/{name}/core serves from it.
+	coreKappa []int32
+	// mutations counts the edit batches applied to reach this version.
+	mutations int
 }
 
 // instance returns the entry's (r,s) instance for the normalized
@@ -82,10 +96,37 @@ type registry struct {
 	mu      sync.RWMutex
 	graphs  map[string]*graphEntry
 	nextVer atomic.Uint64
+
+	// mutMu guards mutLocks, the per-name mutation locks. Edit batches on
+	// one name are serialized by its lock, held across overlay repair,
+	// snapshot, republish AND warm cache seeding — the latter so a
+	// mutation response can deterministically report what it seeded;
+	// different names mutate concurrently. Locks are retained after
+	// delete — a name's lock is a few words, and keeping it avoids racing
+	// a deletion against a mutation in flight (handlers pre-check
+	// existence before creating one, so junk names never allocate).
+	mutMu    sync.Mutex
+	mutLocks map[string]*sync.Mutex
 }
 
 func newRegistry() *registry {
-	return &registry{graphs: make(map[string]*graphEntry)}
+	return &registry{
+		graphs:   make(map[string]*graphEntry),
+		mutLocks: make(map[string]*sync.Mutex),
+	}
+}
+
+// mutationLock returns the mutation lock for name, creating it on first
+// use.
+func (r *registry) mutationLock(name string) *sync.Mutex {
+	r.mutMu.Lock()
+	defer r.mutMu.Unlock()
+	l, ok := r.mutLocks[name]
+	if !ok {
+		l = &sync.Mutex{}
+		r.mutLocks[name] = l
+	}
+	return l
 }
 
 func (r *registry) put(name, source string, g *graph.Graph) *graphEntry {
@@ -103,6 +144,23 @@ func (r *registry) put(name, source string, g *graph.Graph) *graphEntry {
 	r.graphs[name] = e
 	r.mu.Unlock()
 	return e
+}
+
+// replaceIf installs e as the new version of name only if the live entry
+// still has version oldVer, assigning the fresh version under the lock
+// (same discipline as put). A false return means the graph was deleted or
+// replaced concurrently — the caller's edits were applied against a dead
+// snapshot and must not be published.
+func (r *registry) replaceIf(name string, oldVer uint64, e *graphEntry) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.graphs[name]
+	if !ok || cur.version != oldVer {
+		return false
+	}
+	e.version = r.nextVer.Add(1)
+	r.graphs[name] = e
+	return true
 }
 
 func (r *registry) get(name string) (*graphEntry, bool) {

@@ -6,6 +6,11 @@
 //
 //   - a graph registry of named in-memory graphs, loaded from edge-list,
 //     MatrixMarket or METIS uploads or from the built-in generators;
+//   - incremental edge mutations: POST /graphs/{name}/edges applies an
+//     add/remove batch to a mutable overlay, repairs core numbers locally
+//     (subcore traversal, package dynamic), republishes a copy-on-write
+//     snapshot under a bumped version, and warm-seeds the new version's
+//     cache from the previous κ (Lemma 2) instead of recomputing cold;
 //   - an asynchronous decomposition job queue backed by a bounded worker
 //     pool over the localhi (AND/SND) and peel engines, with the job
 //     lifecycle queued → running → done|failed;
@@ -96,10 +101,24 @@ type Server struct {
 	// bypass the worker-pool bound that gates POST /jobs.
 	syncSem chan struct{}
 
-	// Request and cache counters, surfaced by /stats.
+	// Request and cache counters, surfaced by /stats. Hits and misses
+	// follow per-request accounting: every admitted decomposition request
+	// (async job or synchronous κ consumer) increments exactly one of the
+	// two — a hit when it was served from the cache or coalesced onto an
+	// in-flight computation, a miss when it paid for the computation — so
+	// hits + misses always equals the number of requests resolved.
 	requests    atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// Mutation and warm-start counters, surfaced by /stats.
+	mutBatches  atomic.Int64 // edit batches published
+	mutApplied  atomic.Int64 // edits applied (adds + removes)
+	mutIgnored  atomic.Int64 // no-op edits (dupes, absent, self-loops, out of range)
+	warmRuns    atomic.Int64 // warm-started reconvergence runs after mutations
+	coldRuns    atomic.Int64 // full cold decompositions actually executed
+	warmSweeps  atomic.Int64 // sweeps spent by warm runs
+	sweepsSaved atomic.Int64 // seed's cold sweeps minus warm sweeps, summed
 }
 
 // New constructs a Server and starts its worker pool.
@@ -145,6 +164,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /graphs/{name}/generate", s.handleGenerateGraph)
 	mux.HandleFunc("GET /graphs/{name}", s.handleGetGraph)
 	mux.HandleFunc("DELETE /graphs/{name}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /graphs/{name}/edges", s.handleMutateGraph)
+	mux.HandleFunc("GET /graphs/{name}/core", s.handleCoreLookup)
 
 	mux.HandleFunc("POST /jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /jobs", s.handleListJobs)

@@ -473,15 +473,19 @@ func TestConcurrentJobSubmission(t *testing.T) {
 		}
 	}
 
-	// All 16 jobs over 3 distinct cache keys: at most 3 misses from this
-	// sequence can produce work; everything else is a hit or coalesced
-	// miss, and the total must balance.
+	// All 16 jobs over 3 distinct cache keys: exactly 3 misses pay the
+	// three computations; every other request resolves as a hit (cached
+	// at submit, cached at run, or coalesced). Per-request accounting
+	// makes this exact: hits + misses == jobs.
 	st := getStats(t, ts.URL)
 	if st.Jobs.Done != goroutines {
 		t.Fatalf("done: %d", st.Jobs.Done)
 	}
-	if st.Cache.Hits+st.Cache.Misses < goroutines {
+	if st.Cache.Hits+st.Cache.Misses != goroutines {
 		t.Fatalf("cache accounting: %+v", st.Cache)
+	}
+	if st.Cache.Misses != 3 {
+		t.Fatalf("misses = %d, want 3 (one per distinct key): %+v", st.Cache.Misses, st.Cache)
 	}
 }
 
