@@ -1,0 +1,200 @@
+// Command benchsweep is the benchmark smoke harness for the sweep kernels:
+// it runs the localhi benchmarks with -benchmem, parses the results, and
+// writes a machine-readable BENCH_sweep.json artifact (ns/op, B/op,
+// allocs/op and the work-visits/op cost metric per benchmark, plus the
+// indexed-vs-baseline SND speedup). It exits non-zero when the fused
+// steady-state kernel benchmark reports any allocations — the
+// zero-allocation claim is a hard regression gate — or when the measured
+// speedup falls below -min-speedup (0 disables the speedup gate, e.g. on
+// noisy shared CI runners).
+//
+//	benchsweep -out BENCH_sweep.json -benchtime 1x
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The benchmark names the gates key on (see internal/localhi).
+const (
+	baselineBench = "BenchmarkSndTruss"
+	indexedBench  = "BenchmarkSndTrussIndexed"
+	fusedBench    = "BenchmarkSweepKernelFused"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name            string   `json:"name"`
+	Iterations      int64    `json:"iterations"`
+	NsPerOp         float64  `json:"nsPerOp"`
+	BytesPerOp      *float64 `json:"bytesPerOp,omitempty"`
+	AllocsPerOp     *float64 `json:"allocsPerOp,omitempty"`
+	WorkVisitsPerOp *float64 `json:"workVisitsPerOp,omitempty"`
+}
+
+// artifact is the BENCH_sweep.json schema.
+type artifact struct {
+	GeneratedAt time.Time     `json:"generatedAt"`
+	GoOS        string        `json:"goos"`
+	GoArch      string        `json:"goarch"`
+	NumCPU      int           `json:"numCPU"`
+	Package     string        `json:"package"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+	// SpeedupSndIndexed is baseline ns/op divided by indexed ns/op for the
+	// full SND decomposition on the bundled truss dataset.
+	SpeedupSndIndexed float64 `json:"speedupSndIndexed"`
+	// FusedSteadyStateAllocsPerOp is the allocs/op of the warmed fused
+	// sweep kernel; the smoke gate requires exactly 0.
+	FusedSteadyStateAllocsPerOp float64 `json:"fusedSteadyStateAllocsPerOp"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parseBench extracts benchmark results from `go test -bench` output.
+// Each line is "Name-P  iters  v1 unit1  v2 unit2 ..."; unknown units are
+// ignored so additional ReportMetric calls never break the parser.
+func parseBench(r io.Reader) ([]benchResult, error) {
+	var out []benchResult
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := benchResult{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: bad value %q", sc.Text(), fields[i])
+			}
+			val := v
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = &val
+			case "allocs/op":
+				res.AllocsPerOp = &val
+			case "work-visits/op":
+				res.WorkVisitsPerOp = &val
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// find returns the result with the given bare name (no -P suffix).
+func find(results []benchResult, name string) *benchResult {
+	for i := range results {
+		if results[i].Name == name {
+			return &results[i]
+		}
+	}
+	return nil
+}
+
+// buildArtifact assembles the JSON payload and enforces the gates.
+func buildArtifact(results []benchResult, pkg string, minSpeedup float64) (*artifact, error) {
+	art := &artifact{
+		GeneratedAt: time.Now().UTC(),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Package:     pkg,
+		Benchmarks:  results,
+	}
+	fused := find(results, fusedBench)
+	if fused == nil {
+		return art, fmt.Errorf("benchmark %s missing from output", fusedBench)
+	}
+	if fused.AllocsPerOp == nil {
+		return art, fmt.Errorf("benchmark %s reported no allocs/op (ran without -benchmem?)", fusedBench)
+	}
+	art.FusedSteadyStateAllocsPerOp = *fused.AllocsPerOp
+	if *fused.AllocsPerOp != 0 {
+		return art, fmt.Errorf("fused sweep kernel allocates in the steady state: %v allocs/op (want 0)", *fused.AllocsPerOp)
+	}
+	base, idx := find(results, baselineBench), find(results, indexedBench)
+	if base == nil || idx == nil {
+		return art, fmt.Errorf("speedup pair %s / %s missing from output", baselineBench, indexedBench)
+	}
+	if idx.NsPerOp > 0 {
+		art.SpeedupSndIndexed = base.NsPerOp / idx.NsPerOp
+	}
+	if minSpeedup > 0 && art.SpeedupSndIndexed < minSpeedup {
+		return art, fmt.Errorf("indexed SND speedup %.2fx below the -min-speedup gate %.2fx", art.SpeedupSndIndexed, minSpeedup)
+	}
+	return art, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out        = fs.String("out", "BENCH_sweep.json", "artifact output path")
+		pkg        = fs.String("pkg", "./internal/localhi", "package holding the sweep benchmarks")
+		benchRe    = fs.String("bench", "Truss|SweepKernel", "benchmark regex passed to go test")
+		benchtime  = fs.String("benchtime", "", "go test -benchtime (empty = default)")
+		minSpeedup = fs.Float64("min-speedup", 0, "fail below this indexed-SND speedup (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cmdArgs := []string{"test", *pkg, "-run", "^$", "-bench", *benchRe, "-benchmem"}
+	if *benchtime != "" {
+		cmdArgs = append(cmdArgs, "-benchtime", *benchtime)
+	}
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Stderr = stderr
+	raw, err := cmd.Output()
+	// Show the raw benchmark table either way; it is the human-readable
+	// half of the artifact.
+	fmt.Fprint(stdout, string(raw))
+	if err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(cmdArgs, " "), err)
+	}
+
+	results, err := parseBench(strings.NewReader(string(raw)))
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines matched %q in %s", *benchRe, *pkg)
+	}
+	art, gateErr := buildArtifact(results, *pkg, *minSpeedup)
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d benchmarks, indexed SND speedup %.2fx, fused allocs/op %v)\n",
+		*out, len(art.Benchmarks), art.SpeedupSndIndexed, art.FusedSteadyStateAllocsPerOp)
+	return gateErr
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+}

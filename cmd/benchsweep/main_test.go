@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: nucleus/internal/localhi
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkSndTruss-8           	       2	 429884678 ns/op	   6867840 work-visits/op	66911432 B/op	 3026762 allocs/op
+BenchmarkSndTrussIndexed-8    	       2	  72195275 ns/op	   6867840 work-visits/op	  329816 B/op	     330 allocs/op
+BenchmarkSweepKernelFused-8   	       2	   2672216 ns/op	    214620 work-visits/op	       0 B/op	       0 allocs/op
+BenchmarkSweepKernelGeneric-8 	       2	  14548084 ns/op	    214620 work-visits/op	 2080680 B/op	   94576 allocs/op
+PASS
+ok  	nucleus/internal/localhi	1.718s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	base := find(results, "BenchmarkSndTruss")
+	if base == nil {
+		t.Fatal("BenchmarkSndTruss not found (P-suffix stripping broken?)")
+	}
+	if base.Iterations != 2 || base.NsPerOp != 429884678 {
+		t.Fatalf("baseline parsed wrong: %+v", base)
+	}
+	if base.WorkVisitsPerOp == nil || *base.WorkVisitsPerOp != 6867840 {
+		t.Fatalf("work-visits metric not parsed: %+v", base)
+	}
+	fused := find(results, "BenchmarkSweepKernelFused")
+	if fused.AllocsPerOp == nil || *fused.AllocsPerOp != 0 {
+		t.Fatalf("fused allocs not parsed: %+v", fused)
+	}
+}
+
+func TestBuildArtifactGates(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := buildArtifact(results, "./internal/localhi", 3)
+	if err != nil {
+		t.Fatalf("gates failed on healthy results: %v", err)
+	}
+	if art.SpeedupSndIndexed < 5 || art.SpeedupSndIndexed > 7 {
+		t.Fatalf("speedup %.2f, want ~5.95", art.SpeedupSndIndexed)
+	}
+	if art.FusedSteadyStateAllocsPerOp != 0 {
+		t.Fatalf("fused allocs %v, want 0", art.FusedSteadyStateAllocsPerOp)
+	}
+
+	// Nonzero fused allocs must fail the gate.
+	dirty := strings.Replace(sampleOutput,
+		"BenchmarkSweepKernelFused-8   	       2	   2672216 ns/op	    214620 work-visits/op	       0 B/op	       0 allocs/op",
+		"BenchmarkSweepKernelFused-8   	       2	   2672216 ns/op	    214620 work-visits/op	      64 B/op	       3 allocs/op", 1)
+	results, _ = parseBench(strings.NewReader(dirty))
+	if _, err := buildArtifact(results, "p", 0); err == nil {
+		t.Fatal("nonzero fused allocs passed the gate")
+	}
+
+	// A missing fused benchmark must fail too.
+	var noFused []benchResult
+	for _, r := range results {
+		if r.Name != "BenchmarkSweepKernelFused" {
+			noFused = append(noFused, r)
+		}
+	}
+	if _, err := buildArtifact(noFused, "p", 0); err == nil {
+		t.Fatal("missing fused benchmark passed the gate")
+	}
+
+	// Speedup below the floor must fail when the gate is armed.
+	if _, err := buildArtifact(parseOK(t, sampleOutput), "p", 100); err == nil {
+		t.Fatal("speedup gate did not fire at min-speedup=100")
+	}
+}
+
+func parseOK(t *testing.T, s string) []benchResult {
+	t.Helper()
+	results, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}

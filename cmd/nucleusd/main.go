@@ -41,6 +41,7 @@ func run(args []string) error {
 		jobThreads = fs.Int("job-threads", 1, "default threads per decomposition job")
 		jobHistory = fs.Int("job-history", 256, "finished jobs retained for polling")
 		maxUpload  = fs.Int64("max-upload-mb", 256, "max graph upload size in MiB")
+		indexMem   = fs.Int64("index-mem-budget", 1024, "flat s-clique index budget per instance in MiB (0 disables indexing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,6 +71,15 @@ func run(args []string) error {
 	if *maxUpload <= 0 {
 		return fmt.Errorf("-max-upload-mb must be a positive integer (got %d)", *maxUpload)
 	}
+	if *indexMem < 0 {
+		return fmt.Errorf("-index-mem-budget must be >= 0 MiB (got %d; 0 disables indexing)", *indexMem)
+	}
+	// 0 MiB means "no flat indexes", which the Config encodes as a
+	// negative budget (its zero value selects the 1 GiB default).
+	indexBudget := *indexMem << 20
+	if *indexMem == 0 {
+		indexBudget = -1
+	}
 
 	srv := root.NewServer(root.ServerConfig{
 		Workers:        *workers,
@@ -78,6 +88,7 @@ func run(args []string) error {
 		JobThreads:     *jobThreads,
 		JobHistory:     *jobHistory,
 		MaxUploadBytes: *maxUpload << 20,
+		IndexMemBudget: indexBudget,
 	})
 	defer srv.Close()
 

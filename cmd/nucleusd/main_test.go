@@ -37,3 +37,13 @@ func TestRunBadAddr(t *testing.T) {
 		t.Fatal("expected listen error")
 	}
 }
+
+func TestRunRejectsNegativeIndexBudget(t *testing.T) {
+	err := run([]string{"-index-mem-budget", "-1"})
+	if err == nil {
+		t.Fatal("expected a validation error")
+	}
+	if !strings.Contains(err.Error(), "index-mem-budget") {
+		t.Fatalf("unhelpful error %q", err)
+	}
+}

@@ -1,0 +1,184 @@
+package cliques
+
+import (
+	"math"
+	"sync"
+
+	"nucleus/internal/graph"
+)
+
+// This file materializes the s-clique incidence of the (2,3) and (3,4)
+// decompositions as flat CSR arrays: per cell, the co-member cell ids of
+// every s-clique containing it, stored contiguously. The on-the-fly
+// instances re-discover every triangle / 4-clique by sorted-merge
+// intersection on every sweep of the local algorithms; the flat index pays
+// that discovery cost exactly once and turns each subsequent sweep into a
+// pure array scan. The trade-off is the paper's §5 memory stance: the
+// index stores every s-clique membership, so callers must check the
+// *Bytes estimate against a budget before building (package nucleus's
+// Build does).
+
+// EdgeIncidence is the flat triangle incidence of a graph's edges: for
+// edge e, Pairs[Offs[e]:Offs[e+1]] holds, per triangle containing e, the
+// dense ids of the triangle's two other edges (the co-member cells of the
+// (2,3) decomposition), two int32 entries per triangle.
+type EdgeIncidence struct {
+	// Offs has length M+1, in units of int32 entries of Pairs.
+	Offs []int64
+	// Pairs holds the concatenated co-member edge-id pairs.
+	Pairs []int32
+}
+
+// Bytes returns the memory held by the index arrays.
+func (inc *EdgeIncidence) Bytes() int64 {
+	return 8*int64(len(inc.Offs)) + 4*int64(len(inc.Pairs))
+}
+
+// EdgeIncidenceBytes estimates the memory of an EdgeIncidence for a graph
+// with m edges whose per-edge triangle counts sum to sumDeg (= 3·|triangles|):
+// an int64 offset per edge plus two int32 co-member ids per incidence.
+func EdgeIncidenceBytes(m, sumDeg int64) int64 {
+	return 8*(m+1) + 8*sumDeg
+}
+
+// BuildEdgeIncidence builds the flat triangle incidence with the classic
+// two-pass CSR construction: count (the caller usually already has the
+// per-edge triangle counts — pass them as deg, or nil to recount), prefix
+// sum, then a parallel fill. Each edge's row is written exactly once, by
+// the worker owning the edge's lower endpoint, so workers never contend.
+// Panics if the graph has more than MaxInt32 edges (cell ids are int32).
+func BuildEdgeIncidence(g *graph.Graph, deg []int32, threads int) *EdgeIncidence {
+	if g.M() > math.MaxInt32 {
+		panic("cliques: graph too large for int32 edge cells")
+	}
+	if deg == nil {
+		deg = CountPerEdgeParallel(g, threads)
+	}
+	m := g.M()
+	inc := &EdgeIncidence{Offs: make([]int64, m+1)}
+	for e := int64(0); e < m; e++ {
+		inc.Offs[e+1] = inc.Offs[e] + 2*int64(deg[e])
+	}
+	inc.Pairs = make([]int32, inc.Offs[m])
+
+	parallelVertexRanges(g.N(), threads, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			uu := uint32(u)
+			ns := g.Neighbors(uu)
+			eids := g.EdgeIDs(uu)
+			for i, v := range ns {
+				if v <= uu {
+					continue
+				}
+				// Merge N(u) and N(v); every common neighbor w closes the
+				// triangle {u,v,w}, whose co-member edges are {u,w} (id on
+				// u's row) and {v,w} (id on v's row) — the same order
+				// ForEachTriangleOfEdge emits.
+				pos := inc.Offs[eids[i]]
+				nv := g.Neighbors(v)
+				ev := g.EdgeIDs(v)
+				x, y := 0, 0
+				for x < len(ns) && y < len(nv) {
+					switch {
+					case ns[x] < nv[y]:
+						x++
+					case ns[x] > nv[y]:
+						y++
+					default:
+						inc.Pairs[pos] = int32(eids[x])
+						inc.Pairs[pos+1] = int32(ev[y])
+						pos += 2
+						x++
+						y++
+					}
+				}
+			}
+		}
+	})
+	return inc
+}
+
+// K4Incidence is the flat 4-clique incidence of a graph's triangles: for
+// triangle t, Triples[Offs[t]:Offs[t+1]] holds, per 4-clique containing t,
+// the dense ids of the 4-clique's three other triangles (the co-member
+// cells of the (3,4) decomposition), three int32 entries per 4-clique.
+type K4Incidence struct {
+	// Offs has length |triangles|+1, in units of int32 entries of Triples.
+	Offs []int64
+	// Triples holds the concatenated co-member triangle-id triples.
+	Triples []int32
+}
+
+// Bytes returns the memory held by the index arrays.
+func (inc *K4Incidence) Bytes() int64 {
+	return 8*int64(len(inc.Offs)) + 4*int64(len(inc.Triples))
+}
+
+// K4IncidenceBytes estimates the memory of a K4Incidence for t triangles
+// whose per-triangle 4-clique counts sum to sumDeg (= 4·|K4|): an int64
+// offset per triangle plus three int32 co-member ids per incidence.
+func K4IncidenceBytes(t, sumDeg int64) int64 {
+	return 8*(t+1) + 12*sumDeg
+}
+
+// BuildK4Incidence builds the flat 4-clique incidence over an existing
+// triangle index: count (pass the per-triangle 4-clique degrees as deg, or
+// nil to recount), prefix sum, parallel fill. Each triangle's row is
+// written exactly once by the worker owning the triangle, so workers never
+// contend. The triangle-id lookups that the on-the-fly instance pays on
+// every sweep are paid here once, at build time.
+func BuildK4Incidence(g *graph.Graph, ti *TriangleIndex, deg []int32, threads int) *K4Incidence {
+	if deg == nil {
+		deg = ti.K4DegreePerTriangleParallel(g, threads)
+	}
+	t := int64(ti.Len())
+	inc := &K4Incidence{Offs: make([]int64, t+1)}
+	for i := int64(0); i < t; i++ {
+		inc.Offs[i+1] = inc.Offs[i] + 3*int64(deg[i])
+	}
+	inc.Triples = make([]int32, inc.Offs[t])
+
+	parallelVertexRanges(ti.Len(), threads, func(lo, hi int) {
+		for tr := lo; tr < hi; tr++ {
+			pos := inc.Offs[tr]
+			ti.ForEachK4OfTriangle(g, int32(tr), func(_ uint32, t1, t2, t3 int32) bool {
+				inc.Triples[pos] = t1
+				inc.Triples[pos+1] = t2
+				inc.Triples[pos+2] = t3
+				pos += 3
+				return true
+			})
+		}
+	})
+	return inc
+}
+
+// parallelVertexRanges splits [0,n) into one contiguous chunk per worker
+// and runs body on each; sequential when threads <= 1.
+func parallelVertexRanges(n, threads int, body func(lo, hi int)) {
+	if threads <= 1 || n == 0 {
+		body(0, n)
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	chunk := (n + threads - 1) / threads
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -56,16 +56,27 @@ func (ti *TriangleIndex) ForEachK4OfTriangle(g *graph.Graph, t int32, fn func(x 
 // K4DegreePerTriangle returns the number of 4-cliques containing each
 // triangle, indexed by triangle id.
 func (ti *TriangleIndex) K4DegreePerTriangle(g *graph.Graph) []int32 {
+	return ti.K4DegreePerTriangleParallel(g, 1)
+}
+
+// K4DegreePerTriangleParallel is K4DegreePerTriangle with the triangle
+// rows split across the given number of workers: the per-cell degree
+// initialization of the (3,4) instance is embarrassingly parallel (each
+// triangle's count is written by exactly one worker), mirroring
+// CountPerEdgeParallel for the (2,3) instance.
+func (ti *TriangleIndex) K4DegreePerTriangleParallel(g *graph.Graph, threads int) []int32 {
 	deg := make([]int32, ti.Len())
-	for t := range ti.List {
-		tri := ti.List[t]
-		c := 0
-		commonNeighbors3(g, tri[0], tri[1], tri[2], func(uint32) bool {
-			c++
-			return true
-		})
-		deg[t] = int32(c)
-	}
+	parallelVertexRanges(ti.Len(), threads, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			tri := ti.List[t]
+			c := 0
+			commonNeighbors3(g, tri[0], tri[1], tri[2], func(uint32) bool {
+				c++
+				return true
+			})
+			deg[t] = int32(c)
+		}
+	})
 	return deg
 }
 

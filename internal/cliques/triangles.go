@@ -6,8 +6,6 @@
 package cliques
 
 import (
-	"sync"
-
 	"nucleus/internal/graph"
 )
 
@@ -51,37 +49,21 @@ func CountPerEdgeParallel(g *graph.Graph, threads int) []int32 {
 		return CountPerEdge(g)
 	}
 	counts := make([]int32, g.M())
-	n := g.N()
-	var wg sync.WaitGroup
-	chunk := (n + threads - 1) / threads
-	for w := 0; w < threads; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for u := lo; u < hi; u++ {
-				uu := uint32(u)
-				ns := g.Neighbors(uu)
-				eids := g.EdgeIDs(uu)
-				for i, v := range ns {
-					if v <= uu {
-						continue
-					}
-					// Each edge is owned by its lower endpoint, so writes
-					// to counts are disjoint across workers.
-					counts[eids[i]] = int32(intersectCount(ns, g.Neighbors(v)))
+	parallelVertexRanges(g.N(), threads, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			uu := uint32(u)
+			ns := g.Neighbors(uu)
+			eids := g.EdgeIDs(uu)
+			for i, v := range ns {
+				if v <= uu {
+					continue
 				}
+				// Each edge is owned by its lower endpoint, so writes to
+				// counts are disjoint across workers.
+				counts[eids[i]] = int32(intersectCount(ns, g.Neighbors(v)))
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 	return counts
 }
 

@@ -35,11 +35,25 @@ func Sort(vals []int32) int32 {
 // Linear computes H(K) in O(n) with a counting array. Values larger than
 // n are treated as n, which cannot change the result.
 func Linear(vals []int32) int32 {
+	var scratch []int32
+	return LinearInto(vals, &scratch)
+}
+
+// LinearInto is Linear over a caller-owned counting array: scratch is
+// grown (and retained across calls) as needed, so a caller that reuses it
+// — e.g. one scratch per sweep worker in the local algorithms — pays zero
+// allocations in the steady state. The scratch contents need not be
+// zeroed between calls.
+func LinearInto(vals []int32, scratch *[]int32) int32 {
 	n := int32(len(vals))
 	if n == 0 {
 		return 0
 	}
-	cnt := make([]int32, n+1)
+	if cap(*scratch) < int(n)+1 {
+		*scratch = make([]int32, int(n)+1)
+	}
+	cnt := (*scratch)[:n+1]
+	clear(cnt)
 	for _, v := range vals {
 		if v < 0 {
 			continue

@@ -212,3 +212,43 @@ func benchH(b *testing.B, f func([]int32) int32) {
 		f(vals)
 	}
 }
+
+func TestLinearIntoKnownCases(t *testing.T) {
+	var scratch []int32 // one dirty scratch shared across all cases
+	for _, c := range cases {
+		want := reference(c)
+		if got := LinearInto(c, &scratch); got != want {
+			t.Errorf("LinearInto(%v) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+// TestLinearIntoDirtyScratchQuick reuses one never-cleared scratch across
+// random inputs of varying lengths — including shrinking ones, which leave
+// stale counts in the tail — and checks agreement with the reference.
+func TestLinearIntoDirtyScratchQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var scratch []int32
+	for i := 0; i < 2000; i++ {
+		vals := make([]int32, rng.Intn(60))
+		for j := range vals {
+			vals[j] = int32(rng.Intn(80)) - 8 // include negatives
+		}
+		if got, want := LinearInto(vals, &scratch), reference(vals); got != want {
+			t.Fatalf("LinearInto(%v) = %d, want %d", vals, got, want)
+		}
+	}
+}
+
+// TestLinearIntoZeroAlloc proves the steady state allocates nothing once
+// the scratch has grown.
+func TestLinearIntoZeroAlloc(t *testing.T) {
+	vals := make([]int32, 128)
+	for i := range vals {
+		vals[i] = int32(i % 17)
+	}
+	scratch := make([]int32, len(vals)+1)
+	if allocs := testing.AllocsPerRun(100, func() { LinearInto(vals, &scratch) }); allocs != 0 {
+		t.Fatalf("LinearInto allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -6,10 +6,15 @@
 //
 // The algorithms work against any nucleus.Instance, so the same code
 // computes k-core (1,2), k-truss (2,3), the (3,4) nucleus, and the generic
-// hypergraph instance. Both algorithms are parallel: cells are distributed
-// to workers with either static (contiguous chunk) or dynamic (work
-// stealing via a shared cursor) scheduling, mirroring the OpenMP discussion
-// in §4.4.
+// hypergraph instance. Instances that materialize their s-clique incidence
+// as flat CSR arrays (nucleus.FlatIncidence, e.g. IndexedTruss/IndexedN34)
+// are detected and run through a fused sweep kernel — pure array scans
+// with per-worker reusable scratch and zero steady-state allocations —
+// while every other instance takes the generic closure path (see fused.go
+// and docs/PERFORMANCE.md). Both algorithms are parallel: cells are
+// distributed to workers with either static (contiguous chunk) or dynamic
+// (work stealing via a shared cursor) scheduling, mirroring the OpenMP
+// discussion in §4.4.
 //
 // A converged run yields the exact decomposition (Result.Converged);
 // bounding Options.MaxSweeps yields an anytime approximation with the
@@ -136,26 +141,35 @@ func (o Options) chunk() int {
 
 // Snd runs the synchronous algorithm: every sweep computes τ_{t+1} for all
 // cells from the frozen τ_t of the previous sweep (Jacobi iteration).
+// Instances exposing flat incidence arrays (nucleus.FlatIncidence) run the
+// fused zero-allocation sweep kernel; everything else takes the generic
+// closure-based path.
 func Snd(inst nucleus.Instance, opts Options) *Result {
 	n := inst.NumCells()
 	tau := initialTau(inst, opts)
 	prev := make([]int32, n)
 	res := &Result{}
 	cells := sweepCells(n, opts)
+	fa, flat := flatOf(inst)
 
 	for {
 		copy(prev, tau)
 		var updates, visits int64
-		parallelFor(len(cells), opts, func(lo, hi int, buf *[]int32) (int64, int64) {
+		parallelFor(len(cells), opts, func(lo, hi int, sc *sweepScratch) (int64, int64) {
 			var upd, vis int64
 			for i := lo; i < hi; i++ {
 				c := cells[i]
 				var h int32
 				var v int64
-				if opts.Preserve {
-					h, v = computeTauPreserve(inst, c, prev, buf, prev[c], false)
-				} else {
-					h, v = computeTau(inst, c, prev, buf)
+				switch {
+				case flat && opts.Preserve:
+					h, v = computeTauFlat(fa, c, prev, sc, prev[c], true, false)
+				case flat:
+					h, v = computeTauFlat(fa, c, prev, sc, 0, false, false)
+				case opts.Preserve:
+					h, v = computeTauPreserve(inst, c, prev, sc, prev[c], false)
+				default:
+					h, v = computeTau(inst, c, prev, sc)
 				}
 				vis += v
 				if h != prev[c] {
@@ -196,6 +210,7 @@ func And(inst nucleus.Instance, opts Options) *Result {
 	res := &Result{}
 	cells := sweepCells(n, opts)
 	par := opts.threads() > 1
+	fa, flat := flatOf(inst)
 
 	var active []int32
 	if opts.Notification {
@@ -207,7 +222,7 @@ func And(inst nucleus.Instance, opts Options) *Result {
 
 	runSweep := func(ignoreFlags bool) (updates int64) {
 		var visits, skipped int64
-		parallelFor(len(cells), opts, func(lo, hi int, buf *[]int32) (int64, int64) {
+		parallelFor(len(cells), opts, func(lo, hi int, sc *sweepScratch) (int64, int64) {
 			var upd, vis int64
 			for i := lo; i < hi; i++ {
 				c := cells[i]
@@ -224,12 +239,16 @@ func And(inst nucleus.Instance, opts Options) *Result {
 				var h int32
 				var v int64
 				switch {
+				case flat && opts.Preserve:
+					h, v = computeTauFlat(fa, c, tau, sc, loadTau(par, tau, c), true, par)
+				case flat:
+					h, v = computeTauFlat(fa, c, tau, sc, 0, false, par)
 				case opts.Preserve:
-					h, v = computeTauPreserve(inst, c, tau, buf, loadTau(par, tau, c), par)
+					h, v = computeTauPreserve(inst, c, tau, sc, loadTau(par, tau, c), par)
 				case par:
-					h, v = computeTauAtomic(inst, c, tau, buf)
+					h, v = computeTauAtomic(inst, c, tau, sc)
 				default:
-					h, v = computeTau(inst, c, tau, buf)
+					h, v = computeTau(inst, c, tau, sc)
 				}
 				vis += v
 				old := loadTau(par, tau, c)
@@ -237,10 +256,14 @@ func And(inst nucleus.Instance, opts Options) *Result {
 					storeTau(par, tau, c, h)
 					upd++
 					if active != nil {
-						inst.VisitNeighbors(c, func(d int32) bool {
-							atomic.StoreInt32(&active[d], 1)
-							return true
-						})
+						if flat {
+							notifyNeighborsFlat(fa, c, active)
+						} else {
+							inst.VisitNeighbors(c, func(d int32) bool {
+								atomic.StoreInt32(&active[d], 1)
+								return true
+							})
+						}
 					}
 				}
 			}
@@ -298,8 +321,8 @@ func And(inst nucleus.Instance, opts Options) *Result {
 // computeTau evaluates the update operator U for cell c against the given τ
 // array: H over { min τ(co-members of S) : S ∋ c }. Returns the new value
 // and the number of s-clique visits.
-func computeTau(inst nucleus.Instance, c int32, tau []int32, buf *[]int32) (int32, int64) {
-	vals := (*buf)[:0]
+func computeTau(inst nucleus.Instance, c int32, tau []int32, sc *sweepScratch) (int32, int64) {
+	vals := sc.vals[:0]
 	var visits int64
 	inst.VisitSCliques(c, func(others []int32) bool {
 		rho := int32(math.MaxInt32)
@@ -312,16 +335,16 @@ func computeTau(inst nucleus.Instance, c int32, tau []int32, buf *[]int32) (int3
 		visits++
 		return true
 	})
-	*buf = vals
-	return hindex.Linear(vals), visits
+	sc.vals = vals
+	return hindex.LinearInto(vals, &sc.cnt), visits
 }
 
 // computeTauAtomic is computeTau with atomic reads, for concurrent And
 // sweeps where other workers may be lowering τ entries. Stale (higher)
 // reads are benign: τ stays an upper bound of κ (Theorem 1) and later
 // sweeps repair them.
-func computeTauAtomic(inst nucleus.Instance, c int32, tau []int32, buf *[]int32) (int32, int64) {
-	vals := (*buf)[:0]
+func computeTauAtomic(inst nucleus.Instance, c int32, tau []int32, sc *sweepScratch) (int32, int64) {
+	vals := sc.vals[:0]
 	var visits int64
 	inst.VisitSCliques(c, func(others []int32) bool {
 		rho := int32(math.MaxInt32)
@@ -334,8 +357,8 @@ func computeTauAtomic(inst nucleus.Instance, c int32, tau []int32, buf *[]int32)
 		visits++
 		return true
 	})
-	*buf = vals
-	return hindex.Linear(vals), visits
+	sc.vals = vals
+	return hindex.LinearInto(vals, &sc.cnt), visits
 }
 
 // computeTauPreserve is computeTau with the §4.4 early-exit: once cur
@@ -344,11 +367,11 @@ func computeTauAtomic(inst nucleus.Instance, c int32, tau []int32, buf *[]int32)
 // the full ρ list cannot exceed cur, and cur supporting s-cliques (each
 // with ρ >= cur) certify that it equals cur. Cells already at zero skip
 // enumeration entirely.
-func computeTauPreserve(inst nucleus.Instance, c int32, tau []int32, buf *[]int32, cur int32, par bool) (int32, int64) {
+func computeTauPreserve(inst nucleus.Instance, c int32, tau []int32, sc *sweepScratch, cur int32, par bool) (int32, int64) {
 	if cur <= 0 {
 		return 0, 0
 	}
-	vals := (*buf)[:0]
+	vals := sc.vals[:0]
 	var visits int64
 	support := int32(0)
 	preserved := false
@@ -376,11 +399,11 @@ func computeTauPreserve(inst nucleus.Instance, c int32, tau []int32, buf *[]int3
 		vals = append(vals, rho)
 		return true
 	})
-	*buf = vals
+	sc.vals = vals
 	if preserved {
 		return cur, visits
 	}
-	return hindex.Linear(vals), visits
+	return hindex.LinearInto(vals, &sc.cnt), visits
 }
 
 func loadTau(par bool, tau []int32, c int32) int32 {
@@ -433,15 +456,17 @@ func sweepCells(n int, opts Options) []int32 {
 
 // parallelFor executes body over [0,n) split across opts.threads() workers,
 // accumulating the two int64 outputs of each body invocation into updates
-// and visits. Sequential when a single thread is requested.
-func parallelFor(n int, opts Options, body func(lo, hi int, buf *[]int32) (int64, int64), updates, visits *int64) {
+// and visits. Each worker owns one sweepScratch for its whole lifetime, so
+// per-cell computations allocate nothing once the scratch has grown to the
+// largest row. Sequential when a single thread is requested.
+func parallelFor(n int, opts Options, body func(lo, hi int, sc *sweepScratch) (int64, int64), updates, visits *int64) {
 	t := opts.threads()
 	if t > n {
 		t = n
 	}
 	if t <= 1 {
-		buf := make([]int32, 0, 64)
-		u, v := body(0, n, &buf)
+		sc := &sweepScratch{vals: make([]int32, 0, 64)}
+		u, v := body(0, n, sc)
 		*updates += u
 		*visits += v
 		return
@@ -463,8 +488,8 @@ func parallelFor(n int, opts Options, body func(lo, hi int, buf *[]int32) (int64
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				buf := make([]int32, 0, 64)
-				u, v := body(lo, hi, &buf)
+				sc := &sweepScratch{vals: make([]int32, 0, 64)}
+				u, v := body(lo, hi, sc)
 				atomic.AddInt64(&uTotal, u)
 				atomic.AddInt64(&vTotal, v)
 			}(lo, hi)
@@ -476,7 +501,7 @@ func parallelFor(n int, opts Options, body func(lo, hi int, buf *[]int32) (int64
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				buf := make([]int32, 0, 64)
+				sc := &sweepScratch{vals: make([]int32, 0, 64)}
 				var u, v int64
 				for {
 					lo := int(atomic.AddInt64(&cursor, int64(chunk))) - chunk
@@ -487,7 +512,7 @@ func parallelFor(n int, opts Options, body func(lo, hi int, buf *[]int32) (int64
 					if hi > n {
 						hi = n
 					}
-					du, dv := body(lo, hi, &buf)
+					du, dv := body(lo, hi, sc)
 					u += du
 					v += dv
 				}

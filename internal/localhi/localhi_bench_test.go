@@ -3,49 +3,83 @@ package localhi
 import (
 	"testing"
 
+	"nucleus/internal/dataset"
 	"nucleus/internal/graph"
 	"nucleus/internal/nucleus"
 	"nucleus/internal/peel"
 )
 
-func benchTrussInstance() nucleus.Instance {
-	return nucleus.NewTruss(graph.PlantedCommunities(20, 80, 0.35, 1500, 42))
+// benchGraph is the bundled truss benchmark dataset: the "fb" analogue of
+// the paper's Table 3 (planted communities; triangle- and K4-rich).
+func benchGraph() *graph.Graph { return dataset.Get("fb").Graph() }
+
+func benchTrussInstance() nucleus.Instance { return nucleus.NewTruss(benchGraph()) }
+
+func benchIndexedTrussInstance() nucleus.Instance {
+	return nucleus.NewIndexedTruss(benchGraph(), 1)
 }
 
-func BenchmarkSndTruss(b *testing.B) {
-	inst := benchTrussInstance()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		Snd(inst, Options{})
-	}
+// reportWork attaches the s-clique visit count as a custom benchmark
+// metric, so the benchsweep artifact can compare the paid work across
+// kernel variants.
+func reportWork(b *testing.B, visits int64) {
+	b.Helper()
+	b.ReportMetric(float64(visits)/float64(b.N), "work-visits/op")
 }
 
-func BenchmarkAndTruss(b *testing.B) {
-	inst := benchTrussInstance()
+func benchSnd(b *testing.B, inst nucleus.Instance, opts Options) {
+	b.Helper()
+	var visits int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		And(inst, Options{})
+		visits += Snd(inst, opts).WorkVisits
 	}
+	reportWork(b, visits)
 }
+
+func benchAnd(b *testing.B, inst nucleus.Instance, opts Options) {
+	b.Helper()
+	var visits int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		visits += And(inst, opts).WorkVisits
+	}
+	reportWork(b, visits)
+}
+
+// SND on the on-the-fly instance (sorted-merge intersection per triangle
+// per sweep): the baseline the flat index is measured against.
+func BenchmarkSndTruss(b *testing.B) { benchSnd(b, benchTrussInstance(), Options{}) }
+
+// SND on the flat-indexed instance (fused array-scan kernel).
+func BenchmarkSndTrussIndexed(b *testing.B) { benchSnd(b, benchIndexedTrussInstance(), Options{}) }
+
+func BenchmarkAndTruss(b *testing.B) { benchAnd(b, benchTrussInstance(), Options{}) }
+
+func BenchmarkAndTrussIndexed(b *testing.B) { benchAnd(b, benchIndexedTrussInstance(), Options{}) }
 
 func BenchmarkAndTrussNotification(b *testing.B) {
-	inst := benchTrussInstance()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		And(inst, Options{Notification: true})
-	}
+	benchAnd(b, benchTrussInstance(), Options{Notification: true})
 }
 
 func BenchmarkAndTrussNotifPreserve(b *testing.B) {
-	inst := benchTrussInstance()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		And(inst, Options{Notification: true, Preserve: true})
-	}
+	benchAnd(b, benchTrussInstance(), Options{Notification: true, Preserve: true})
+}
+
+func BenchmarkAndTrussNotifPreserveIndexed(b *testing.B) {
+	benchAnd(b, benchIndexedTrussInstance(), Options{Notification: true, Preserve: true})
 }
 
 func BenchmarkPeelTruss(b *testing.B) {
 	inst := benchTrussInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		peel.Run(inst)
+	}
+}
+
+func BenchmarkPeelTrussIndexed(b *testing.B) {
+	inst := benchIndexedTrussInstance()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		peel.Run(inst)
@@ -58,4 +92,53 @@ func BenchmarkAndBudget3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		And(inst, Options{MaxSweeps: 3})
 	}
+}
+
+// BenchmarkSweepKernelFused measures one steady-state fused sweep over
+// every cell: the scratch is warmed before the timer starts, so allocs/op
+// must be exactly zero (cmd/benchsweep fails CI otherwise).
+func BenchmarkSweepKernelFused(b *testing.B) {
+	inst := nucleus.NewIndexedTruss(benchGraph(), 1)
+	fa, ok := flatOf(inst)
+	if !ok {
+		b.Fatal("IndexedTruss does not expose flat incidence")
+	}
+	tau := inst.Degrees()
+	sc := &sweepScratch{}
+	n := int32(inst.NumCells())
+	var visits int64
+	for c := int32(0); c < n; c++ { // warm the scratch
+		computeTauFlat(fa, c, tau, sc, tau[c], false, false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := int32(0); c < n; c++ {
+			_, v := computeTauFlat(fa, c, tau, sc, tau[c], false, false)
+			visits += v
+		}
+	}
+	reportWork(b, visits)
+}
+
+// BenchmarkSweepKernelGeneric is the same single sweep through the generic
+// closure path on the on-the-fly instance, for comparison.
+func BenchmarkSweepKernelGeneric(b *testing.B) {
+	inst := benchTrussInstance()
+	tau := inst.Degrees()
+	sc := &sweepScratch{}
+	n := int32(inst.NumCells())
+	var visits int64
+	for c := int32(0); c < n; c++ {
+		computeTau(inst, c, tau, sc)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := int32(0); c < n; c++ {
+			_, v := computeTau(inst, c, tau, sc)
+			visits += v
+		}
+	}
+	reportWork(b, visits)
 }

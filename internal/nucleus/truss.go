@@ -17,9 +17,15 @@ type Truss struct {
 	deg []int32
 }
 
-// NewTruss returns the (2,3) instance of g.
-func NewTruss(g *graph.Graph) *Truss {
-	return &Truss{G: g, deg: cliques.CountPerEdge(g)}
+// NewTruss returns the (2,3) instance of g with sequential degree
+// initialization; NewTrussThreads parallelizes it.
+func NewTruss(g *graph.Graph) *Truss { return NewTrussThreads(g, 1) }
+
+// NewTrussThreads returns the (2,3) instance of g, splitting the per-edge
+// triangle count — the instance's only up-front cost — across the given
+// number of workers.
+func NewTrussThreads(g *graph.Graph, threads int) *Truss {
+	return &Truss{G: g, deg: cliques.CountPerEdgeParallel(g, threads)}
 }
 
 func (t *Truss) R() int        { return 2 }
@@ -64,10 +70,16 @@ type N34 struct {
 }
 
 // NewN34 returns the (3,4) instance of g, enumerating and indexing all
-// triangles.
-func NewN34(g *graph.Graph) *N34 {
+// triangles, with sequential degree initialization; NewN34Threads
+// parallelizes it.
+func NewN34(g *graph.Graph) *N34 { return NewN34Threads(g, 1) }
+
+// NewN34Threads returns the (3,4) instance of g, splitting the per-triangle
+// 4-clique count across the given number of workers (triangle enumeration
+// itself stays sequential: it assigns dense ids in order).
+func NewN34Threads(g *graph.Graph, threads int) *N34 {
 	idx := cliques.BuildTriangleIndex(g)
-	return &N34{G: g, Idx: idx, deg: idx.K4DegreePerTriangle(g)}
+	return &N34{G: g, Idx: idx, deg: idx.K4DegreePerTriangleParallel(g, threads)}
 }
 
 func (n *N34) R() int        { return 3 }

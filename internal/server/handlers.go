@@ -78,6 +78,22 @@ type statsResponse struct {
 	Jobs          jobsStats     `json:"jobs"`
 	Cache         cacheStats    `json:"cache"`
 	Mutations     mutationStats `json:"mutations"`
+	Index         indexStats    `json:"index"`
+}
+
+// indexStats reports the per-(graph version, family) instance cache.
+// Builds counts flat s-clique incidence indexes materialized; Reuses
+// counts requests served by a memoized instance (no re-counting of
+// triangles/4-cliques at all); Fallbacks counts instances constructed
+// without a flat index (over budget, indexing disabled, or the core
+// family, whose CSR adjacency needs none). Bytes is the total size of all
+// indexes built since start (an upper bound on live index memory: dead
+// graph versions release theirs with the entry).
+type indexStats struct {
+	Builds    int64 `json:"builds"`
+	Reuses    int64 `json:"reuses"`
+	Fallbacks int64 `json:"fallbacks"`
+	Bytes     int64 `json:"bytes"`
 }
 
 type jobsStats struct {
@@ -148,6 +164,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ColdRuns:    s.coldRuns.Load(),
 			WarmSweeps:  s.warmSweeps.Load(),
 			SweepsSaved: s.sweepsSaved.Load(),
+		},
+		Index: indexStats{
+			Builds:    s.idxBuilds.Load(),
+			Reuses:    s.idxReuses.Load(),
+			Fallbacks: s.idxFallbacks.Load(),
+			Bytes:     s.idxBytes.Load(),
 		},
 	})
 }
@@ -424,7 +446,7 @@ func (s *Server) handleEstimateCore(w http.ResponseWriter, r *http.Request) {
 	}
 	s.acquireSync()
 	defer s.releaseSync() // defer: an engine panic must not leak the slot
-	est := query.CoreNumbersOn(e.instance("core"), e.g, req.Vertices, req.Hops, req.MaxSweeps)
+	est := query.CoreNumbersOn(s.instanceOf(e, "core"), e.g, req.Vertices, req.Hops, req.MaxSweeps)
 	writeJSON(w, http.StatusOK, estimateResponse{
 		Graph:       req.Graph,
 		Estimates:   est.Tau,
@@ -463,7 +485,7 @@ func (s *Server) handleEstimateTruss(w http.ResponseWriter, r *http.Request) {
 	}
 	s.acquireSync()
 	defer s.releaseSync()
-	est := query.TrussNumbersOn(e.instance("truss"), e.g, req.Edges, req.Hops, req.MaxSweeps)
+	est := query.TrussNumbersOn(s.instanceOf(e, "truss"), e.g, req.Edges, req.Hops, req.MaxSweeps)
 	writeJSON(w, http.StatusOK, estimateResponse{
 		Graph:       req.Graph,
 		Estimates:   est.Tau,

@@ -7,7 +7,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"nucleus/internal/graph"
 	"nucleus/internal/localhi"
 	inucleus "nucleus/internal/nucleus"
 	"nucleus/internal/peel"
@@ -353,22 +352,10 @@ func normalizeAlg(s string) (string, error) {
 	return "", fmt.Errorf("unknown algorithm %q (want and, snd or peel)", s)
 }
 
-func instanceFor(g *graph.Graph, dec string) inucleus.Instance {
-	switch dec {
-	case "core":
-		return inucleus.NewCore(g)
-	case "truss":
-		return inucleus.NewTruss(g)
-	case "n34":
-		return inucleus.NewN34(g)
-	}
-	panic(fmt.Sprintf("server: unnormalized decomposition %q", dec))
-}
-
 // runDecomposition executes one decomposition with the selected engine,
-// reusing the entry's memoized instance. dec and alg must already be
-// normalized.
-func runDecomposition(entry *graphEntry, dec, alg string, threads, maxSweeps int) (res *decompResult, err error) {
+// reusing the entry's memoized (possibly flat-indexed) instance. dec and
+// alg must already be normalized.
+func (s *Server) runDecomposition(entry *graphEntry, dec, alg string, threads, maxSweeps int) (res *decompResult, err error) {
 	// A decomposition touches every cell of a user-supplied graph;
 	// convert engine panics (e.g. from a hostile input that slipped past
 	// parsing) into failed jobs instead of crashing the server.
@@ -377,7 +364,7 @@ func runDecomposition(entry *graphEntry, dec, alg string, threads, maxSweeps int
 			res, err = nil, fmt.Errorf("decomposition panicked: %v", r)
 		}
 	}()
-	inst := entry.instance(dec)
+	inst := s.instanceOf(entry, dec)
 	switch alg {
 	case "peel":
 		pr := peel.Run(inst)
@@ -459,7 +446,7 @@ func (s *Server) computeShared(key cacheKey, entry *graphEntry, threads, maxSwee
 	s.flightMu.Unlock()
 
 	s.coldRuns.Add(1)
-	f.res, f.err = runDecomposition(entry, key.dec, key.alg, threads, maxSweeps)
+	f.res, f.err = s.runDecomposition(entry, key.dec, key.alg, threads, maxSweeps)
 	if f.err == nil {
 		s.cache.put(key, f.res)
 		// Liveness recheck: if the graph was deleted or replaced while we

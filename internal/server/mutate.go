@@ -269,7 +269,7 @@ func (s *Server) warmSeed(old, ne *graphEntry, inserts int) []string {
 	threads := s.cfg.JobThreads
 	var keys []cacheKey
 	if seedRes := s.convergedResult(old, "core"); seedRes != nil {
-		inst := ne.instance("core")
+		inst := s.instanceOf(ne, "core")
 		lr := dynamic.WarmCoreNumbersOn(inst, ne.g, ne.coreKappa, 0, threads)
 		s.recordWarm(seedRes, lr)
 		k := cacheKey{ne.name, ne.version, "core", "and", 0}
@@ -278,7 +278,7 @@ func (s *Server) warmSeed(old, ne *graphEntry, inserts int) []string {
 		seeded = append(seeded, "core")
 	}
 	if seedRes := s.convergedResult(old, "truss"); seedRes != nil {
-		inst := ne.instance("truss")
+		inst := s.instanceOf(ne, "truss")
 		lr := dynamic.WarmTrussNumbersOn(inst, ne.g, old.g, seedRes.Kappa, inserts, threads)
 		s.recordWarm(seedRes, lr)
 		k := cacheKey{ne.name, ne.version, "truss", "and", 0}

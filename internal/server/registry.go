@@ -34,10 +34,17 @@ type graphEntry struct {
 
 	// (r,s) instances, memoized per decomposition for the same reason.
 	// Building a Truss/N34 instance runs a global triangle / 4-clique
-	// count; memoizing it makes repeated estimation and decomposition
-	// requests pay it once per graph.
+	// count (and, budget permitting, materializes the flat s-clique
+	// incidence index); memoizing it makes repeated estimation,
+	// decomposition, hierarchy and warm-seed requests pay it once per
+	// graph version. Entries are single-flight handles so the expensive
+	// build runs outside instMu (a long n34 build must not block a
+	// request for an already-memoized core instance). The memo dies with
+	// the entry, so replacing or deleting a graph evicts its indexes
+	// along with the version (modulo results in the LRU cache that still
+	// pin their instance).
 	instMu   sync.Mutex
-	instMemo map[string]nucleus.Instance
+	instMemo map[string]*instFlight
 
 	// dyn is the mutable adjacency overlay with incrementally maintained
 	// core numbers (subcore traversal). It is created on the first edit
@@ -53,20 +60,76 @@ type graphEntry struct {
 	mutations int
 }
 
-// instance returns the entry's (r,s) instance for the normalized
-// decomposition name, building it on first use. Instances are read-only
-// after construction, so sharing across requests is safe.
-func (e *graphEntry) instance(dec string) nucleus.Instance {
+// instFlight is one memoized-or-in-progress instance build. done is
+// closed once inst (or panicVal, for a build that blew up) is set.
+type instFlight struct {
+	done     chan struct{}
+	inst     nucleus.Instance
+	panicVal any
+}
+
+// instanceOf returns the entry's (r,s) instance for the normalized
+// decomposition name, building it on first use via the budget-aware
+// adaptive constructor (nucleus.Build): a flat incidence index when it
+// fits Config.IndexMemBudget, the on-the-fly instance otherwise.
+// Instances are read-only after construction, so sharing across requests
+// is safe. Builds are single-flighted per (entry, dec) but run outside
+// instMu, so a slow n34 build never blocks a caller fetching an
+// already-memoized instance of another family. The /stats index counters
+// account every call: memo/flight hit → reuse, index built → build, no
+// index → fallback.
+func (s *Server) instanceOf(e *graphEntry, dec string) nucleus.Instance {
 	e.instMu.Lock()
-	defer e.instMu.Unlock()
-	if inst, ok := e.instMemo[dec]; ok {
-		return inst
+	if f, ok := e.instMemo[dec]; ok {
+		e.instMu.Unlock()
+		<-f.done
+		if f.panicVal != nil {
+			// The build this caller coalesced onto failed; surface the same
+			// panic the builder saw (runDecomposition converts it to a
+			// failed job; on the synchronous handler paths it propagates to
+			// net/http's per-connection recover, exactly as a panic from
+			// this caller's own build would have).
+			panic(f.panicVal)
+		}
+		s.idxReuses.Add(1)
+		return f.inst
 	}
-	inst := instanceFor(e.g, dec)
+	f := &instFlight{done: make(chan struct{})}
 	if e.instMemo == nil {
-		e.instMemo = make(map[string]nucleus.Instance, 3)
+		e.instMemo = make(map[string]*instFlight, 3)
 	}
-	e.instMemo[dec] = inst
+	e.instMemo[dec] = f
+	e.instMu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			// Record the failure for coalesced waiters, forget the flight so
+			// a later request can retry, and propagate to this caller.
+			f.panicVal = r
+			e.instMu.Lock()
+			delete(e.instMemo, dec)
+			e.instMu.Unlock()
+			close(f.done)
+			panic(r)
+		}
+	}()
+	fam, err := nucleus.ParseFamily(dec)
+	if err != nil {
+		panic(fmt.Sprintf("server: unnormalized decomposition %q", dec))
+	}
+	budget := s.cfg.IndexMemBudget
+	if budget < 0 {
+		budget = 0 // nucleus.Build: 0 = never index
+	}
+	inst, rep := nucleus.Build(e.g, fam, budget, s.cfg.JobThreads)
+	if rep.Indexed {
+		s.idxBuilds.Add(1)
+		s.idxBytes.Add(rep.IndexBytes)
+	} else {
+		s.idxFallbacks.Add(1)
+	}
+	f.inst = inst
+	close(f.done)
 	return inst
 }
 

@@ -58,7 +58,20 @@ type Config struct {
 	// bounding the memory pinned by per-job κ arrays. Values <= 0
 	// default to 256.
 	JobHistory int
+	// IndexMemBudget caps the estimated size, in bytes, of one flat
+	// s-clique incidence index (see nucleus.Build): instances whose index
+	// would exceed it fall back to on-the-fly s-clique discovery. 0
+	// defaults to 1 GiB; negative disables flat indexing entirely. Note
+	// the sentinel difference from nucleus.Build (where 0 disables and
+	// negative means unlimited): a Config zero value must select the
+	// default, so "effectively unlimited" is expressed here with a huge
+	// positive value.
+	IndexMemBudget int64
 }
+
+// defaultIndexMemBudget is the per-instance flat-index budget applied when
+// Config.IndexMemBudget is zero.
+const defaultIndexMemBudget = 1 << 30 // 1 GiB
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -78,6 +91,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobHistory <= 0 {
 		c.JobHistory = 256
+	}
+	if c.IndexMemBudget == 0 {
+		c.IndexMemBudget = defaultIndexMemBudget
 	}
 	return c
 }
@@ -119,6 +135,16 @@ type Server struct {
 	coldRuns    atomic.Int64 // full cold decompositions actually executed
 	warmSweeps  atomic.Int64 // sweeps spent by warm runs
 	sweepsSaved atomic.Int64 // seed's cold sweeps minus warm sweeps, summed
+
+	// Instance-cache counters, surfaced by /stats. Every request needing
+	// an (r,s) instance either reuses the per-(graph version, family) memo
+	// (idxReuses) or constructs one: with a flat s-clique incidence index
+	// (idxBuilds) or on the fly when the budget declines it or the family
+	// needs none (idxFallbacks).
+	idxBuilds    atomic.Int64
+	idxReuses    atomic.Int64
+	idxFallbacks atomic.Int64
+	idxBytes     atomic.Int64 // total bytes of flat indexes built since start
 }
 
 // New constructs a Server and starts its worker pool.
