@@ -9,6 +9,7 @@ import (
 	"nucleus/internal/metrics"
 	"nucleus/internal/query"
 	"nucleus/internal/server"
+	"nucleus/internal/store"
 )
 
 // ---------------------------------------------------------------------------
@@ -142,7 +143,24 @@ type ServerConfig = server.Config
 // implements http.Handler; see docs/API.md for the endpoint reference.
 type Server = server.Server
 
-// NewServer constructs a Server and starts its worker pool. Mount it on
-// any http.Server, or run the cmd/nucleusd binary. Call Close to drain
-// in-flight jobs on shutdown.
+// NewServer constructs a Server and starts its worker pool. If the config
+// carries a durable Store, construction first replays persisted snapshots
+// and WALs, recovering every graph at its exact pre-restart version.
+// Mount the Server on any http.Server, or run the cmd/nucleusd binary.
+// Call Close to drain in-flight jobs on shutdown.
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// GraphStore is the pluggable persistence backend of the serving layer:
+// versioned binary graph snapshots plus a write-ahead log of edge-mutation
+// batches. Set it on ServerConfig.Store to make nucleusd durable.
+type GraphStore = store.Store
+
+// OpenFSStore opens (creating as needed) the filesystem-backed GraphStore
+// rooted at dir — one directory per graph holding its current snapshot and
+// WAL. See docs/OPERATIONS.md for the layout and crash-consistency
+// guarantees.
+func OpenFSStore(dir string) (GraphStore, error) { return store.OpenFS(dir) }
+
+// NullGraphStore returns the no-op GraphStore: nothing is persisted and
+// nothing is recovered. It is the default when ServerConfig.Store is nil.
+func NullGraphStore() GraphStore { return store.Null() }

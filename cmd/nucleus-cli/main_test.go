@@ -5,8 +5,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"nucleus/internal/graph"
+	"nucleus/internal/store"
 )
 
 func writeTestGraph(t *testing.T) string {
@@ -114,4 +116,64 @@ func TestRunErrors(t *testing.T) {
 	}
 	// Suppress flag usage noise in test output.
 	_ = os.Stderr
+}
+
+func TestSnapshotInspect(t *testing.T) {
+	g := graph.Figure2()
+	kappa := []int32{2, 2, 2, 1, 1, 0}[:g.N()]
+	path := filepath.Join(t.TempDir(), "snapshot.nsnap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &store.Snapshot{
+		Meta:  store.Meta{Version: 42, Source: "upload:edgelist", CreatedAt: time.Unix(0, 1234), Mutations: 3},
+		Graph: g,
+		Kappa: kappa,
+	}
+	if err := store.EncodeSnapshot(f, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"snapshot", "inspect", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"checksum OK",
+		"n=6 m=6",
+		"version:  42 (3 mutation batches)",
+		"source:   upload:edgelist",
+		"kappa:    present",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A corrupted snapshot must fail loudly, not print garbage.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	bad := filepath.Join(t.TempDir(), "bad.nsnap")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"snapshot", "inspect", bad}, &sb); err == nil {
+		t.Fatal("inspect accepted a corrupted snapshot")
+	}
+
+	// Usage errors.
+	if err := run([]string{"snapshot"}, &sb); err == nil {
+		t.Fatal("bare snapshot subcommand must error with usage")
+	}
+	if err := run([]string{"snapshot", "inspect"}, &sb); err == nil {
+		t.Fatal("inspect without files must error with usage")
+	}
 }

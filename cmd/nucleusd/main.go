@@ -4,6 +4,13 @@
 // densest-subgraph endpoints. See docs/API.md for the endpoint reference.
 //
 //	nucleusd -addr :8080 -workers 4 -cache 64
+//	nucleusd -addr :8080 -data-dir /var/lib/nucleusd   # durable
+//
+// With -data-dir, uploads are persisted as binary snapshots and edit
+// batches are write-ahead logged before they are applied; on startup the
+// server replays snapshot+WAL and recovers every graph at its exact
+// pre-restart version, warm-seeding the decomposition caches. See
+// docs/OPERATIONS.md for the data-dir layout and recovery semantics.
 //
 // The server drains running decomposition jobs before exiting on SIGINT or
 // SIGTERM.
@@ -42,6 +49,8 @@ func run(args []string) error {
 		jobHistory = fs.Int("job-history", 256, "finished jobs retained for polling")
 		maxUpload  = fs.Int64("max-upload-mb", 256, "max graph upload size in MiB")
 		indexMem   = fs.Int64("index-mem-budget", 1024, "flat s-clique index budget per instance in MiB (0 disables indexing)")
+		dataDir    = fs.String("data-dir", "", "directory for durable graph storage (snapshots + WAL); empty disables persistence")
+		walCompact = fs.Int64("wal-compact-threshold", 4, "per-graph WAL size in MiB beyond which the compactor folds the log into a fresh snapshot (0 disables compaction)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -74,29 +83,53 @@ func run(args []string) error {
 	if *indexMem < 0 {
 		return fmt.Errorf("-index-mem-budget must be >= 0 MiB (got %d; 0 disables indexing)", *indexMem)
 	}
+	if *walCompact < 0 {
+		return fmt.Errorf("-wal-compact-threshold must be >= 0 MiB (got %d; 0 disables compaction)", *walCompact)
+	}
 	// 0 MiB means "no flat indexes", which the Config encodes as a
 	// negative budget (its zero value selects the 1 GiB default).
 	indexBudget := *indexMem << 20
 	if *indexMem == 0 {
 		indexBudget = -1
 	}
+	// Same sentinel dance for compaction: 0 MiB on the flag means "never
+	// compact", which the Config encodes as a negative threshold.
+	walThreshold := *walCompact << 20
+	if *walCompact == 0 {
+		walThreshold = -1
+	}
+
+	var st root.GraphStore
+	if *dataDir != "" {
+		var err error
+		if st, err = root.OpenFSStore(*dataDir); err != nil {
+			return err
+		}
+		defer st.Close()
+	}
 
 	srv := root.NewServer(root.ServerConfig{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		CacheSize:      *cacheSize,
-		JobThreads:     *jobThreads,
-		JobHistory:     *jobHistory,
-		MaxUploadBytes: *maxUpload << 20,
-		IndexMemBudget: indexBudget,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheSize:       *cacheSize,
+		JobThreads:      *jobThreads,
+		JobHistory:      *jobHistory,
+		MaxUploadBytes:  *maxUpload << 20,
+		IndexMemBudget:  indexBudget,
+		Store:           st,
+		WALCompactBytes: walThreshold,
 	})
 	defer srv.Close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("nucleusd listening on %s (workers=%d queue=%d cache=%d)",
-			*addr, *workers, *queueDepth, *cacheSize)
+		durable := "persistence off"
+		if *dataDir != "" {
+			durable = "data-dir " + *dataDir
+		}
+		log.Printf("nucleusd listening on %s (workers=%d queue=%d cache=%d, %s)",
+			*addr, *workers, *queueDepth, *cacheSize, durable)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"nucleus/internal/graph"
 	"nucleus/internal/hierarchy"
 	"nucleus/internal/query"
 )
@@ -71,14 +72,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	UptimeSeconds float64       `json:"uptimeSeconds"`
-	Requests      int64         `json:"requests"`
-	Graphs        int           `json:"graphs"`
-	Workers       int           `json:"workers"`
-	Jobs          jobsStats     `json:"jobs"`
-	Cache         cacheStats    `json:"cache"`
-	Mutations     mutationStats `json:"mutations"`
-	Index         indexStats    `json:"index"`
+	UptimeSeconds float64          `json:"uptimeSeconds"`
+	Requests      int64            `json:"requests"`
+	Graphs        int              `json:"graphs"`
+	Workers       int              `json:"workers"`
+	Jobs          jobsStats        `json:"jobs"`
+	Cache         cacheStats       `json:"cache"`
+	Mutations     mutationStats    `json:"mutations"`
+	Index         indexStats       `json:"index"`
+	Persistence   persistenceStats `json:"persistence"`
+}
+
+// persistenceStats reports the durable store (see internal/store and
+// docs/OPERATIONS.md). Snapshots counts full snapshot writes (uploads,
+// generates and compactions); WALAppends/WALBytes count appended frames
+// (batch + commit) and their bytes since start. Replays is the number of
+// graphs recovered at startup and ReplayedBatches the committed WAL
+// batches re-applied for them; Compactions counts WALs folded into fresh
+// snapshots. Errors counts non-fatal persistence failures (logged; the
+// server keeps serving from memory).
+type persistenceStats struct {
+	Enabled         bool  `json:"enabled"`
+	Snapshots       int64 `json:"snapshots"`
+	WALAppends      int64 `json:"walAppends"`
+	WALBytes        int64 `json:"walBytes"`
+	Replays         int64 `json:"replays"`
+	ReplayedBatches int64 `json:"replayedBatches"`
+	Compactions     int64 `json:"compactions"`
+	Errors          int64 `json:"errors"`
 }
 
 // indexStats reports the per-(graph version, family) instance cache.
@@ -171,6 +192,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Fallbacks: s.idxFallbacks.Load(),
 			Bytes:     s.idxBytes.Load(),
 		},
+		Persistence: persistenceStats{
+			Enabled:         s.store.Durable(),
+			Snapshots:       s.snapSaves.Load(),
+			WALAppends:      s.walAppends.Load(),
+			WALBytes:        s.walBytes.Load(),
+			Replays:         s.replays.Load(),
+			ReplayedBatches: s.replayedBatches.Load(),
+			Compactions:     s.compactions.Load(),
+			Errors:          s.persistErrors.Load(),
+		},
 	})
 }
 
@@ -222,7 +253,35 @@ func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parsing %s upload: %v", orDefault(format, "edgelist"), err)
 		return
 	}
-	e := s.reg.put(name, "upload:"+orDefault(format, "edgelist"), g)
+	s.registerGraph(w, name, "upload:"+orDefault(format, "edgelist"), g)
+}
+
+// registerGraph installs a parsed upload/generation under the per-name
+// mutation lock and persists its snapshot before acknowledging, so a 201
+// means the graph survives a crash. The lock keeps the install + snapshot
+// pair atomic with respect to edit batches, compaction and other uploads
+// of the same name. Persistence failure rolls the registration back: the
+// entry the upload displaced (if any) is reinstated — a failed re-upload
+// must not destroy the healthy graph clients are querying — and its cache
+// entries, never purged on this path, remain valid.
+func (s *Server) registerGraph(w http.ResponseWriter, name, source string, g *graph.Graph) {
+	lock := s.reg.mutationLock(name)
+	lock.Lock()
+	prev, hadPrev := s.reg.get(name)
+	e := s.reg.put(name, source, g)
+	err := s.persistSnapshot(e)
+	if err != nil {
+		s.persistErrors.Add(1)
+		if hadPrev {
+			s.reg.install(prev)
+		} else {
+			s.reg.deleteIf(name, e.version)
+		}
+		lock.Unlock()
+		writeError(w, http.StatusInternalServerError, "persisting graph %q: %v", name, err)
+		return
+	}
+	lock.Unlock()
 	s.cache.purgeGraph(name, e.version) // replacement invalidates prior results
 	writeJSON(w, http.StatusCreated, viewGraph(e))
 }
@@ -238,9 +297,7 @@ func (s *Server) handleGenerateGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	e := s.reg.put(name, "generator:"+req.Generator, g)
-	s.cache.purgeGraph(name, e.version) // replacement invalidates prior results
-	writeJSON(w, http.StatusCreated, viewGraph(e))
+	s.registerGraph(w, name, "generator:"+req.Generator, g)
 }
 
 func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
@@ -254,12 +311,30 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	// Existence pre-check before creating a per-name mutation lock (same
+	// rationale as the mutation path: junk names must not allocate locks).
+	if _, ok := s.reg.get(name); !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+		return
+	}
+	lock := s.reg.mutationLock(name)
+	lock.Lock()
 	e, ok := s.reg.delete(name)
+	var storeErr error
+	if ok {
+		storeErr = s.store.Delete(name)
+	}
+	lock.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown graph %q", name)
 		return
 	}
 	s.cache.purgeGraph(name, e.version+1)
+	if storeErr != nil {
+		s.persistErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, "graph %q removed from memory, but deleting its persisted data failed: %v", name, storeErr)
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"log"
+
+	"nucleus/internal/dynamic"
+	"nucleus/internal/store"
+)
+
+// ---------------------------------------------------------------------------
+// Durable persistence glue (package store).
+//
+// The registry's durable state is split the way the store package frames
+// it: a snapshot per graph (CSR + metadata + maintained exact κ when
+// known) and a WAL of committed edit batches since that snapshot. The
+// serving layer owns the ordering guarantees:
+//
+//   - uploads/generates persist the snapshot BEFORE the 201 response, under
+//     the per-name mutation lock, so an acknowledged upload survives a
+//     crash and never interleaves with a mutation or compaction;
+//   - edit batches append a WAL batch frame before touching the overlay and
+//     a commit frame after the new version is published, so replay
+//     reconstructs exactly the acknowledged state;
+//   - a background compactor folds long WALs into fresh snapshots once they
+//     cross Config.WALCompactBytes, bounding replay time;
+//   - startup replays snapshot+WAL for every persisted graph, restores the
+//     exact pre-restart versions, and warm-seeds the core κ cache via the
+//     Lemma 2 path so the first post-restart request reconverges locally
+//     instead of decomposing cold.
+
+// recoverFromStore rebuilds the registry from the persistence backend.
+// Called from New before the listener can exist, so it needs no locks.
+// Per-graph failures are logged and counted, not fatal: one corrupt graph
+// must not take down the other millions.
+func (s *Server) recoverFromStore() {
+	names, err := s.store.List()
+	if err != nil {
+		log.Printf("nucleusd: listing persisted graphs: %v", err)
+		s.persistErrors.Add(1)
+		return
+	}
+	maxVer := uint64(0)
+	for _, name := range names {
+		snap, batches, err := s.store.Load(name)
+		if err != nil {
+			log.Printf("nucleusd: recovering graph %q: %v", name, err)
+			s.persistErrors.Add(1)
+			continue
+		}
+		e := rebuildEntry(name, snap, batches)
+		if e.version > maxVer {
+			maxVer = e.version
+		}
+		s.reg.install(e)
+		s.replays.Add(1)
+		s.replayedBatches.Add(int64(len(batches)))
+		if e.coreKappa != nil {
+			s.warmRecoverCore(e)
+		}
+	}
+	// Future versions must stay above every recovered one, or cache keys
+	// from different lifetimes of a name could collide.
+	s.reg.bumpVersion(maxVer)
+}
+
+// rebuildEntry replays one graph: the snapshot is the base, each committed
+// WAL batch is re-applied through the same dynamic-overlay repair the
+// mutation handler uses, and the entry lands at the exact version the last
+// commit published. When the snapshot carries the maintained exact κ the
+// overlay seeds from it (no cold peel even with a non-empty WAL).
+func rebuildEntry(name string, snap *store.Snapshot, batches []store.CommittedBatch) *graphEntry {
+	e := &graphEntry{
+		name:      name,
+		g:         snap.Graph,
+		version:   snap.Meta.Version,
+		source:    snap.Meta.Source,
+		created:   snap.Meta.CreatedAt,
+		coreKappa: snap.Kappa,
+		mutations: snap.Meta.Mutations,
+	}
+	if len(batches) == 0 {
+		return e
+	}
+	var dyn *dynamic.Graph
+	if snap.Kappa != nil {
+		dyn = dynamic.FromStaticCores(snap.Graph, snap.Kappa)
+	} else {
+		// Never-decomposed lineage with a WAL: the overlay needs exact core
+		// numbers to repair incrementally, so this one graph pays a peel.
+		dyn = dynamic.FromStatic(snap.Graph)
+	}
+	for _, b := range batches {
+		applyBatch(dyn, &b.Batch, int(batchNeedN(dyn.N(), &b.Batch)))
+		e.version = b.Version
+		e.mutations++
+	}
+	e.g = dyn.Static()
+	e.dyn = dyn
+	e.coreKappa = append([]int32(nil), dyn.CoreNumbers()...)
+	return e
+}
+
+// warmRecoverCore seeds the recovered entry's core cache entry by
+// Lemma 2 warm-started reconvergence from the persisted exact κ: the run
+// starts at the fixpoint, so it is one certification pass, not a cold
+// decomposition (coldRuns stays 0 across a restart).
+func (s *Server) warmRecoverCore(e *graphEntry) {
+	inst := s.instanceOf(e, "core")
+	lr := dynamic.WarmCoreNumbersOn(inst, e.g, e.coreKappa, 0, s.cfg.JobThreads)
+	s.warmRuns.Add(1)
+	s.warmSweeps.Add(int64(lr.Sweeps))
+	s.cache.put(cacheKey{e.name, e.version, "core", "and", 0}, localResult(lr, inst))
+}
+
+// persistSnapshot writes the entry's current state as the authoritative
+// snapshot (truncating its WAL). Callers hold the per-name mutation lock.
+func (s *Server) persistSnapshot(e *graphEntry) error {
+	if !s.store.Durable() {
+		return nil
+	}
+	err := s.store.SaveSnapshot(e.name, &store.Snapshot{
+		Meta: store.Meta{
+			Version:   e.version,
+			Source:    e.source,
+			CreatedAt: e.created,
+			Mutations: e.mutations,
+		},
+		Graph: e.g,
+		Kappa: e.coreKappa,
+	})
+	if err == nil {
+		s.snapSaves.Add(1)
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Background WAL compaction.
+
+// startCompactor launches the single compaction worker. One worker is
+// deliberate: compaction takes the per-name mutation lock and writes a
+// full snapshot, so running many concurrently would just contend with
+// mutations for disk bandwidth.
+func (s *Server) startCompactor() {
+	s.compactCh = make(chan string, 64)
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		for name := range s.compactCh {
+			s.compactGraph(name)
+		}
+	}()
+}
+
+// stopCompactor shuts the worker down idempotently (Close may run twice).
+func (s *Server) stopCompactor() {
+	s.compactMu.Lock()
+	already := s.compactClosed
+	s.compactClosed = true
+	s.compactMu.Unlock()
+	if already || s.compactCh == nil {
+		return
+	}
+	close(s.compactCh)
+	s.compactWG.Wait()
+}
+
+// maybeCompact enqueues name for compaction when its WAL has outgrown the
+// threshold. Non-blocking: if the queue is full the next batch re-triggers
+// it, and a send racing shutdown is simply dropped.
+func (s *Server) maybeCompact(name string) {
+	if !s.store.Durable() || s.cfg.WALCompactBytes < 0 {
+		return
+	}
+	if s.store.WALSize(name) <= s.cfg.WALCompactBytes {
+		return
+	}
+	s.compactMu.Lock()
+	if !s.compactClosed {
+		select {
+		case s.compactCh <- name:
+		default:
+		}
+	}
+	s.compactMu.Unlock()
+}
+
+// compactGraph folds name's WAL into a fresh snapshot. The per-name
+// mutation lock serializes it against edit batches and re-uploads, so the
+// snapshot it writes is a consistent (graph, version, κ) triple and no
+// commit frame can land between the state read and the WAL truncation.
+func (s *Server) compactGraph(name string) {
+	lock := s.reg.mutationLock(name)
+	lock.Lock()
+	defer lock.Unlock()
+	e, ok := s.reg.get(name)
+	if !ok {
+		return // deleted while queued
+	}
+	if s.store.WALSize(name) <= s.cfg.WALCompactBytes {
+		return // already compacted (or re-uploaded) while queued
+	}
+	if err := s.persistSnapshot(e); err != nil {
+		log.Printf("nucleusd: compacting graph %q: %v", name, err)
+		s.persistErrors.Add(1)
+		return
+	}
+	s.compactions.Add(1)
+}

@@ -160,14 +160,19 @@ type registry struct {
 	graphs  map[string]*graphEntry
 	nextVer atomic.Uint64
 
-	// mutMu guards mutLocks, the per-name mutation locks. Edit batches on
-	// one name are serialized by its lock, held across overlay repair,
-	// snapshot, republish AND warm cache seeding — the latter so a
-	// mutation response can deterministically report what it seeded;
-	// different names mutate concurrently. Locks are retained after
-	// delete — a name's lock is a few words, and keeping it avoids racing
-	// a deletion against a mutation in flight (handlers pre-check
-	// existence before creating one, so junk names never allocate).
+	// mutMu guards mutLocks, the per-name mutation locks. A name's lock
+	// serializes everything that changes its durable or published state:
+	// edit batches (WAL batch append → overlay repair → snapshot →
+	// republish → WAL commit append), uploads/generates/deletes (registry
+	// install + snapshot persistence), and background WAL compaction.
+	// Warm cache seeding deliberately runs OUTSIDE the lock — it is
+	// graph-sized reconvergence work, and holding the lock across it would
+	// stall every queued mutation of the name behind a cache refill (the
+	// seeder re-validates liveness before keeping its entries). Different
+	// names mutate concurrently. Locks are retained after delete — a
+	// name's lock is a few words, and keeping it avoids racing a deletion
+	// against a mutation in flight (handlers pre-check existence before
+	// creating one, so junk names never allocate).
 	mutMu    sync.Mutex
 	mutLocks map[string]*sync.Mutex
 }
@@ -224,6 +229,36 @@ func (r *registry) replaceIf(name string, oldVer uint64, e *graphEntry) bool {
 	e.version = r.nextVer.Add(1)
 	r.graphs[name] = e
 	return true
+}
+
+// install places an entry under its existing version without assigning a
+// fresh one: startup recovery (single-threaded, before the first request;
+// bumpVersion afterwards keeps future versions above every installed one)
+// and upload rollback (under the per-name mutation lock, reinstating the
+// entry a failed re-upload displaced).
+func (r *registry) install(e *graphEntry) {
+	r.mu.Lock()
+	r.graphs[e.name] = e
+	r.mu.Unlock()
+}
+
+// bumpVersion raises the version counter to at least v. Recovery-only
+// (single-threaded), so load+store needs no CAS loop.
+func (r *registry) bumpVersion(v uint64) {
+	if r.nextVer.Load() < v {
+		r.nextVer.Store(v)
+	}
+}
+
+// deleteIf removes name only while its live entry is still exactly ver:
+// the upload path uses it to roll back a registration whose snapshot
+// could not be persisted, without clobbering a concurrent re-upload.
+func (r *registry) deleteIf(name string, ver uint64) {
+	r.mu.Lock()
+	if cur, ok := r.graphs[name]; ok && cur.version == ver {
+		delete(r.graphs, name)
+	}
+	r.mu.Unlock()
 }
 
 func (r *registry) get(name string) (*graphEntry, bool) {

@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nucleus/internal/store"
 )
 
 // Config configures a nucleusd Server.
@@ -67,7 +69,22 @@ type Config struct {
 	// default, so "effectively unlimited" is expressed here with a huge
 	// positive value.
 	IndexMemBudget int64
+	// Store is the durable persistence backend: uploads become snapshots,
+	// edit batches are write-ahead logged, and New replays both to recover
+	// every graph at its exact pre-restart version. nil selects the
+	// in-memory null store — the historical behavior where a restart loses
+	// everything. The caller retains ownership: Close does not close it.
+	Store store.Store
+	// WALCompactBytes is the per-graph WAL size beyond which the
+	// background compactor folds the log into a fresh snapshot, bounding
+	// replay time after a crash. 0 defaults to 4 MiB; negative disables
+	// compaction (the WAL then grows until the next upload or snapshot).
+	WALCompactBytes int64
 }
+
+// defaultWALCompactBytes is the compaction threshold applied when
+// Config.WALCompactBytes is zero.
+const defaultWALCompactBytes = 4 << 20 // 4 MiB
 
 // defaultIndexMemBudget is the per-instance flat-index budget applied when
 // Config.IndexMemBudget is zero.
@@ -94,6 +111,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IndexMemBudget == 0 {
 		c.IndexMemBudget = defaultIndexMemBudget
+	}
+	if c.Store == nil {
+		c.Store = store.Null()
+	}
+	if c.WALCompactBytes == 0 {
+		c.WALCompactBytes = defaultWALCompactBytes
 	}
 	return c
 }
@@ -145,6 +168,23 @@ type Server struct {
 	idxReuses    atomic.Int64
 	idxFallbacks atomic.Int64
 	idxBytes     atomic.Int64 // total bytes of flat indexes built since start
+
+	// Persistence state and counters, surfaced by /stats (see persist.go).
+	store           store.Store
+	snapSaves       atomic.Int64 // snapshots written (uploads + compactions)
+	walAppends      atomic.Int64 // WAL frames appended (batch + commit)
+	walBytes        atomic.Int64 // WAL bytes appended since start
+	replays         atomic.Int64 // graphs recovered at startup
+	replayedBatches atomic.Int64 // committed WAL batches re-applied at startup
+	compactions     atomic.Int64 // WALs folded into fresh snapshots
+	persistErrors   atomic.Int64 // persistence failures (logged, non-fatal)
+
+	// Compactor worker plumbing; compactMu also guards the closed flag so
+	// a mutation racing Close cannot send on a closed channel.
+	compactMu     sync.Mutex
+	compactCh     chan string
+	compactClosed bool
+	compactWG     sync.WaitGroup
 }
 
 // New constructs a Server and starts its worker pool.
@@ -156,9 +196,16 @@ func New(cfg Config) *Server {
 		cache:    newLRUCache(cfg.CacheSize),
 		inflight: make(map[cacheKey]*flight),
 		syncSem:  make(chan struct{}, cfg.Workers),
+		store:    cfg.Store,
 		start:    time.Now(),
 	}
 	s.jobs = newJobManager(s, cfg.Workers, cfg.QueueDepth)
+	if s.store.Durable() {
+		// Replay persisted snapshots + WALs before the first request can
+		// arrive, then start folding long WALs in the background.
+		s.recoverFromStore()
+		s.startCompactor()
+	}
 	s.mux = s.routes()
 	return s
 }
@@ -170,8 +217,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Close stops accepting jobs and blocks until in-flight jobs finish.
-// Queued jobs that have not started are marked failed.
+// Queued jobs that have not started are marked failed. The compactor is
+// drained first so no snapshot write races process exit; the Store itself
+// stays open (the caller owns it).
 func (s *Server) Close() {
+	s.stopCompactor()
 	s.jobs.close()
 }
 

@@ -1,0 +1,329 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"nucleus/internal/graph"
+)
+
+// Snapshot file format (all integers varint/uvarint unless noted):
+//
+//	magic   "NSNP" + 1 format-version byte
+//	header  n, m
+//	meta    version, mutations, len(source)+source, createdAt (unix nanos,
+//	        signed varint)
+//	adj     per vertex u in [0,n): count of neighbors v > u, then the
+//	        ascending neighbor row delta-encoded (first as v-u-1, then
+//	        v_i - v_{i-1} - 1) — the upper triangle in dense edge-id order,
+//	        so decoding rebuilds the identical CSR and edge-id assignment
+//	checksum CRC-32C (Castagnoli, little-endian uint32) over every byte
+//	        above; a torn or bit-flipped snapshot fails decode rather than
+//	        serving a silently wrong graph
+//
+// Varint-delta encoding keeps snapshots at roughly 1–2 bytes per edge on
+// real graphs, versus 16+ for the in-memory CSR.
+
+const (
+	snapMagic         = "NSNP"
+	snapFormatVersion = 1
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeSnapshot writes snap in the versioned binary format.
+func EncodeSnapshot(w io.Writer, snap *Snapshot) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	crc := crc32.New(castagnoli)
+	mw := io.MultiWriter(bw, crc)
+
+	var scratch [2 * binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := mw.Write(scratch[:n])
+		return err
+	}
+	putI := func(v int64) error {
+		n := binary.PutVarint(scratch[:], v)
+		_, err := mw.Write(scratch[:n])
+		return err
+	}
+
+	g := snap.Graph
+	if _, err := mw.Write([]byte(snapMagic)); err != nil {
+		return err
+	}
+	if _, err := mw.Write([]byte{snapFormatVersion}); err != nil {
+		return err
+	}
+	if err := putU(uint64(g.N())); err != nil {
+		return err
+	}
+	if err := putU(uint64(g.M())); err != nil {
+		return err
+	}
+	if err := putU(snap.Meta.Version); err != nil {
+		return err
+	}
+	if err := putU(uint64(snap.Meta.Mutations)); err != nil {
+		return err
+	}
+	if err := putU(uint64(len(snap.Meta.Source))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(mw, snap.Meta.Source); err != nil {
+		return err
+	}
+	if err := putI(snap.Meta.CreatedAt.UnixNano()); err != nil {
+		return err
+	}
+
+	for u := 0; u < g.N(); u++ {
+		uu := uint32(u)
+		ns := g.Neighbors(uu)
+		// Upper-triangle row: neighbors are sorted, so the v > u suffix
+		// starts after the last v <= u.
+		start := len(ns)
+		for i, v := range ns {
+			if v > uu {
+				start = i
+				break
+			}
+		}
+		row := ns[start:]
+		if err := putU(uint64(len(row))); err != nil {
+			return err
+		}
+		prev := uu
+		for _, v := range row {
+			if err := putU(uint64(v - prev - 1)); err != nil {
+				return err
+			}
+			prev = v
+		}
+	}
+
+	if snap.Kappa == nil {
+		if _, err := mw.Write([]byte{0}); err != nil {
+			return err
+		}
+	} else {
+		if len(snap.Kappa) != g.N() {
+			return fmt.Errorf("store: kappa length %d does not match n=%d", len(snap.Kappa), g.N())
+		}
+		if _, err := mw.Write([]byte{1}); err != nil {
+			return err
+		}
+		for _, k := range snap.Kappa {
+			if err := putI(int64(k)); err != nil {
+				return err
+			}
+		}
+	}
+
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	if _, err := bw.Write(tail[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// byteReader walks an in-memory snapshot image, tracking position for
+// error messages.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) ReadByte() (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("store: truncated snapshot at byte %d", r.pos)
+	}
+	return v, nil
+}
+
+func (r *byteReader) varint() (int64, error) {
+	v, err := binary.ReadVarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("store: truncated snapshot at byte %d", r.pos)
+	}
+	return v, nil
+}
+
+// DecodeSnapshot parses and checksums a snapshot image produced by
+// EncodeSnapshot.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < len(snapMagic)+1+4 {
+		return nil, fmt.Errorf("store: snapshot too short (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("store: snapshot checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	if string(body[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("store: bad snapshot magic %q", body[:len(snapMagic)])
+	}
+	if v := body[len(snapMagic)]; v != snapFormatVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot format version %d (this build reads %d)", v, snapFormatVersion)
+	}
+	r := &byteReader{data: body, pos: len(snapMagic) + 1}
+
+	n64, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	m64, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// The vertex count bounds every allocation below; a corrupt header must
+	// not be able to demand petabytes before the edge rows disprove it.
+	if n64 > uint64(len(body)) {
+		return nil, fmt.Errorf("store: snapshot claims n=%d in a %d-byte file", n64, len(body))
+	}
+	if m64 > uint64(len(body)) {
+		return nil, fmt.Errorf("store: snapshot claims m=%d in a %d-byte file", m64, len(body))
+	}
+	n := int(n64)
+
+	snap := &Snapshot{}
+	snap.Meta.Version, err = r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	mut, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	snap.Meta.Mutations = int(mut)
+	srcLen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if srcLen > uint64(len(body)-r.pos) {
+		return nil, fmt.Errorf("store: snapshot source length %d overruns the file", srcLen)
+	}
+	snap.Meta.Source = string(body[r.pos : r.pos+int(srcLen)])
+	r.pos += int(srcLen)
+	nanos, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	snap.Meta.CreatedAt = time.Unix(0, nanos)
+
+	edges := make([][2]uint32, 0, m64)
+	for u := 0; u < n; u++ {
+		cnt, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Each delta costs at least one byte, so a row longer than the
+		// remaining payload is corrupt.
+		if cnt > uint64(len(body)-r.pos) {
+			return nil, fmt.Errorf("store: vertex %d row length %d overruns the file", u, cnt)
+		}
+		prev := uint64(u)
+		for i := uint64(0); i < cnt; i++ {
+			d, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			v := prev + d + 1
+			if v >= n64 {
+				return nil, fmt.Errorf("store: edge {%d,%d} out of range (n=%d)", u, v, n)
+			}
+			edges = append(edges, [2]uint32{uint32(u), uint32(v)})
+			prev = v
+		}
+	}
+	if uint64(len(edges)) != m64 {
+		return nil, fmt.Errorf("store: snapshot header says m=%d but %d edges encoded", m64, len(edges))
+	}
+	snap.Graph = graph.Build(n, edges)
+
+	flag, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("store: truncated snapshot at byte %d", r.pos)
+	}
+	switch flag {
+	case 0:
+	case 1:
+		snap.Kappa = make([]int32, n)
+		for v := 0; v < n; v++ {
+			k, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			snap.Kappa[v] = int32(k)
+		}
+	default:
+		return nil, fmt.Errorf("store: bad kappa flag %d", flag)
+	}
+	if r.pos != len(body) {
+		return nil, fmt.Errorf("store: %d trailing bytes after snapshot payload", len(body)-r.pos)
+	}
+	return snap, nil
+}
+
+// SnapshotInfo is the human-facing summary of one snapshot file, used by
+// `nucleus-cli snapshot inspect`.
+type SnapshotInfo struct {
+	Path          string
+	FileBytes     int64
+	FormatVersion int
+	N             int
+	M             int64
+	Version       uint64
+	Mutations     int
+	Source        string
+	CreatedAt     time.Time
+	HasKappa      bool
+	MaxKappa      int32
+}
+
+// InspectSnapshot fully decodes (and therefore checksums) the snapshot at
+// path and summarizes it. Any corruption surfaces as an error.
+func InspectSnapshot(path string) (*SnapshotInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	info := &SnapshotInfo{
+		Path:          path,
+		FileBytes:     int64(len(data)),
+		FormatVersion: int(data[len(snapMagic)]),
+		N:             snap.Graph.N(),
+		M:             snap.Graph.M(),
+		Version:       snap.Meta.Version,
+		Mutations:     snap.Meta.Mutations,
+		Source:        snap.Meta.Source,
+		CreatedAt:     snap.Meta.CreatedAt,
+		HasKappa:      snap.Kappa != nil,
+	}
+	for _, k := range snap.Kappa {
+		if k > info.MaxKappa {
+			info.MaxKappa = k
+		}
+	}
+	return info, nil
+}

@@ -1,0 +1,318 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// FS is the filesystem Store: one directory per graph under
+// <root>/graphs/, holding the current snapshot and the WAL,
+//
+//	<root>/graphs/<encoded-name>/snapshot.nsnap
+//	<root>/graphs/<encoded-name>/wal.log
+//
+// Snapshots are replaced atomically (write to a temp file, fsync, rename,
+// fsync the directory), so a crash mid-save leaves the previous snapshot
+// intact. WAL appends are fsynced before they return. Graph names are
+// percent-encoded into a filesystem-safe alphabet, so any HTTP path
+// segment — including ".", ".." and unicode — maps to a distinct,
+// traversal-proof directory.
+type FS struct {
+	root string
+
+	mu     sync.Mutex
+	graphs map[string]*fsGraph
+}
+
+// fsGraph is the per-name state: a lock serializing file operations, a
+// cached WAL size so compaction checks never hit the filesystem, and the
+// generation (snapshot Meta.Version) the WAL extends.
+type fsGraph struct {
+	mu      sync.Mutex
+	dir     string
+	walSize atomic.Int64
+	// gen is the Meta.Version of the snapshot on disk, stamped into the
+	// WAL header so replay can reject a log stranded by a crash between a
+	// snapshot replacement and its WAL truncation. 0 = not yet known
+	// (resolved lazily from the snapshot file on the first append).
+	gen uint64
+}
+
+const (
+	snapshotFile = "snapshot.nsnap"
+	walFile      = "wal.log"
+)
+
+// OpenFS opens (creating as needed) a filesystem store rooted at dir.
+func OpenFS(dir string) (*FS, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "graphs"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	return &FS{root: dir, graphs: make(map[string]*fsGraph)}, nil
+}
+
+// byName returns the per-name state, creating it (and priming the cached
+// WAL size from disk) on first use.
+func (s *FS) byName(name string) *fsGraph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.graphs[name]
+	if !ok {
+		g = &fsGraph{dir: filepath.Join(s.root, "graphs", encodeName(name))}
+		if st, err := os.Stat(filepath.Join(g.dir, walFile)); err == nil {
+			g.walSize.Store(st.Size())
+		}
+		s.graphs[name] = g
+	}
+	return g
+}
+
+// SaveSnapshot implements Store. The WAL is truncated after the rename:
+// every committed batch is now folded into the snapshot.
+func (s *FS) SaveSnapshot(name string, snap *Snapshot) error {
+	g := s.byName(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := os.MkdirAll(g.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(g.dir, snapshotFile+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := EncodeSnapshot(tmp, snap); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(g.dir, snapshotFile)); err != nil {
+		return err
+	}
+	if err := syncDir(g.dir); err != nil {
+		return err
+	}
+	// The snapshot is durable from here on; record its generation so the
+	// next WAL append stamps it. Should the WAL removal below fail (or the
+	// process die first), replay detects the stale log by its mismatched
+	// header generation and discards it instead of applying the previous
+	// lineage's batches to this snapshot.
+	g.gen = snap.Meta.Version
+	if err := os.Remove(filepath.Join(g.dir, walFile)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	g.walSize.Store(0)
+	return nil
+}
+
+// BeginBatch implements Store.
+func (s *FS) BeginBatch(name string, b *Batch) (int, error) {
+	return s.appendWAL(name, encodeBatchFrame(b))
+}
+
+// CommitBatch implements Store.
+func (s *FS) CommitBatch(name string, version uint64) (int, error) {
+	return s.appendWAL(name, encodeCommitFrame(version))
+}
+
+func (s *FS) appendWAL(name string, frame []byte) (int, error) {
+	g := s.byName(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := os.MkdirAll(g.dir, 0o755); err != nil {
+		return 0, err
+	}
+	if g.walSize.Load() == 0 {
+		// First frame of a fresh log: prepend the header naming the
+		// snapshot generation this WAL extends (one write, one fsync).
+		if g.gen == 0 {
+			// Generation unknown: this process has neither saved nor loaded
+			// the snapshot (possible only for library users driving the
+			// store directly). Resolve it from disk once.
+			data, err := os.ReadFile(filepath.Join(g.dir, snapshotFile))
+			if err != nil {
+				return 0, fmt.Errorf("store: WAL append for %q with no known snapshot: %w", name, err)
+			}
+			snap, err := DecodeSnapshot(data)
+			if err != nil {
+				return 0, err
+			}
+			g.gen = snap.Meta.Version
+		}
+		frame = append(encodeHeaderFrame(g.gen), frame...)
+	}
+	f, err := os.OpenFile(filepath.Join(g.dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if _, err := f.Write(frame); err != nil {
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	g.walSize.Add(int64(len(frame)))
+	return len(frame), nil
+}
+
+// Load implements Store. A corrupt WAL tail is truncated in place so
+// future appends continue from the last intact frame.
+func (s *FS) Load(name string) (*Snapshot, []CommittedBatch, error) {
+	g := s.byName(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	data, err := os.ReadFile(filepath.Join(g.dir, snapshotFile))
+	if os.IsNotExist(err) {
+		return nil, nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("decoding snapshot of %q: %w", name, err)
+	}
+
+	g.gen = snap.Meta.Version
+	walPath := filepath.Join(g.dir, walFile)
+	wal, err := os.ReadFile(walPath)
+	if os.IsNotExist(err) {
+		return snap, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	gen, hasHeader, batches, goodLen := decodeFrames(wal)
+	if !hasHeader || gen != snap.Meta.Version {
+		// The log does not extend THIS snapshot: either it survived a crash
+		// between a snapshot replacement and its WAL truncation (stale
+		// generation), or its header is torn. Its batches belong to a dead
+		// lineage — discard the file rather than replay them.
+		if err := os.Remove(walPath); err != nil && !os.IsNotExist(err) {
+			return nil, nil, fmt.Errorf("removing stale WAL of %q: %w", name, err)
+		}
+		g.walSize.Store(0)
+		return snap, nil, nil
+	}
+	if goodLen < len(wal) {
+		if err := os.Truncate(walPath, int64(goodLen)); err != nil {
+			return nil, nil, fmt.Errorf("truncating torn WAL tail of %q: %w", name, err)
+		}
+	}
+	g.walSize.Store(int64(goodLen))
+	return snap, batches, nil
+}
+
+// List implements Store.
+func (s *FS) List() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "graphs"))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := decodeName(e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("store: undecodable graph directory %q: %w", e.Name(), err)
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// Delete implements Store.
+func (s *FS) Delete(name string) error {
+	g := s.byName(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := os.RemoveAll(g.dir); err != nil {
+		return err
+	}
+	g.walSize.Store(0)
+	g.gen = 0
+	return nil
+}
+
+// WALSize implements Store from the in-memory cache.
+func (s *FS) WALSize(name string) int64 {
+	return s.byName(name).walSize.Load()
+}
+
+// Durable implements Store.
+func (s *FS) Durable() bool { return true }
+
+// Close implements Store. The FS store holds no persistent handles —
+// every append opens, syncs and closes — so there is nothing to flush.
+func (s *FS) Close() error { return nil }
+
+// syncDir fsyncs a directory so a just-renamed file is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// encodeName maps an arbitrary graph name to a filesystem-safe directory
+// name: bytes in [a-z0-9_-] pass through, everything else (including
+// uppercase, '.', '%' and path separators) becomes %XX. The empty name
+// encodes as a bare "%". Escaping uppercase keeps the mapping injective
+// even on case-insensitive filesystems (macOS APFS, Windows NTFS), where
+// directories "A" and "a" would otherwise collide.
+func encodeName(name string) string {
+	if name == "" {
+		return "%"
+	}
+	var sb strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			sb.WriteByte(c)
+		} else {
+			fmt.Fprintf(&sb, "%%%02X", c)
+		}
+	}
+	return sb.String()
+}
+
+// decodeName inverts encodeName.
+func decodeName(enc string) (string, error) {
+	if enc == "%" {
+		return "", nil
+	}
+	var sb strings.Builder
+	for i := 0; i < len(enc); i++ {
+		c := enc[i]
+		if c != '%' {
+			sb.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(enc) {
+			return "", fmt.Errorf("truncated %%-escape in %q", enc)
+		}
+		var b byte
+		if _, err := fmt.Sscanf(enc[i+1:i+3], "%02X", &b); err != nil {
+			return "", fmt.Errorf("bad %%-escape in %q: %w", enc, err)
+		}
+		sb.WriteByte(b)
+		i += 2
+	}
+	return sb.String(), nil
+}

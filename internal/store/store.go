@@ -1,0 +1,143 @@
+// Package store is the durable persistence layer of nucleusd. It splits a
+// graph's state the way HTAP-style systems split theirs: an authoritative
+// binary *snapshot* (the full CSR graph plus metadata and, when known, the
+// maintained exact core numbers) and an append-only *write-ahead log* of
+// edge-mutation batches applied since that snapshot. Derived state — flat
+// s-clique indices, decomposition caches, hierarchies — is never persisted:
+// it is rebuilt (warm-started, not cold) from the recovered κ arrays.
+//
+// The WAL uses a two-frame protocol per batch. A *batch* frame is appended
+// and synced BEFORE the edits touch the in-memory overlay; a *commit* frame
+// carrying the published registry version is appended after the new graph
+// version is installed. Replay applies only batches with a matching commit
+// frame, so a crash anywhere in the window leaves exactly the acknowledged
+// state: a batch frame without a commit was never acknowledged to the
+// client and is dropped.
+//
+// Two backends implement Store: the filesystem directory store (OpenFS) and
+// the in-memory null store (Null), which discards everything and keeps the
+// serving layer's historical restart-loses-all behavior for tests and
+// deployments that do not pass -data-dir.
+package store
+
+import (
+	"errors"
+	"time"
+
+	"nucleus/internal/graph"
+)
+
+// ErrNotFound reports that a name has no persisted snapshot.
+var ErrNotFound = errors.New("store: graph not found")
+
+// Meta is the registry metadata persisted alongside a graph snapshot.
+type Meta struct {
+	// Version is the registry version the snapshot captures. Recovery
+	// restores the graph at exactly this version (plus any committed WAL
+	// batches, each carrying its own published version).
+	Version uint64
+	// Source records how the graph entered the registry ("upload:edgelist",
+	// "generator:gnm", ...).
+	Source string
+	// CreatedAt is the registry creation time of the lineage.
+	CreatedAt time.Time
+	// Mutations is the number of edit batches applied to reach Version.
+	Mutations int
+}
+
+// Snapshot is one durable graph snapshot: the immutable CSR graph, its
+// registry metadata, and optionally the exact maintained core numbers.
+type Snapshot struct {
+	Meta  Meta
+	Graph *graph.Graph
+	// Kappa is the exact per-vertex core-number array maintained by the
+	// mutation path, or nil when the lineage has never been mutated (and no
+	// exact κ is known). When present, recovery seeds the dynamic overlay
+	// and the decomposition cache from it instead of peeling cold.
+	Kappa []int32
+}
+
+// Edit operations of a WAL batch.
+const (
+	OpAdd byte = iota
+	OpRemove
+)
+
+// BatchOp is one edge edit of a mutation batch.
+type BatchOp struct {
+	Op   byte // OpAdd or OpRemove
+	U, V uint32
+}
+
+// Batch is one edge-mutation batch as logged to the WAL, mirroring the
+// body of POST /graphs/{name}/edges.
+type Batch struct {
+	Edits []BatchOp
+	// GrowTo optionally raises the vertex count beyond the largest edit
+	// endpoint; 0 means no explicit growth.
+	GrowTo int
+}
+
+// CommittedBatch is a replayable WAL batch together with the registry
+// version that was published after applying it.
+type CommittedBatch struct {
+	Batch
+	Version uint64
+}
+
+// Store is a pluggable persistence backend for the graph registry. All
+// methods are safe for concurrent use; operations on the same name are
+// serialized internally. Callers (the serving layer) additionally hold the
+// per-name mutation lock across a BeginBatch…CommitBatch pair, so the two
+// frames of one batch land adjacently in the log.
+type Store interface {
+	// SaveSnapshot atomically persists snap as the authoritative snapshot
+	// of name and truncates its WAL (the snapshot already contains every
+	// previously committed batch).
+	SaveSnapshot(name string, snap *Snapshot) error
+	// BeginBatch durably appends an edit batch BEFORE it is applied,
+	// returning the bytes written.
+	BeginBatch(name string, b *Batch) (int, error)
+	// CommitBatch durably marks the most recently begun batch as published
+	// at version, returning the bytes written.
+	CommitBatch(name string, version uint64) (int, error)
+	// Load reads the snapshot of name and the committed batches appended
+	// since it was written, in append order. A corrupt WAL tail (torn
+	// write) is truncated at the last intact frame; uncommitted batches
+	// are dropped.
+	Load(name string) (*Snapshot, []CommittedBatch, error)
+	// List returns the names of all persisted graphs.
+	List() ([]string, error)
+	// Delete removes every trace of name.
+	Delete(name string) error
+	// WALSize returns the current byte size of name's WAL (0 if none), for
+	// compaction scheduling. It must be cheap.
+	WALSize(name string) int64
+	// Durable reports whether the backend actually persists anything. The
+	// serving layer uses it to skip recovery and compaction on the null
+	// store and to report persistence as disabled in /stats.
+	Durable() bool
+	// Close releases backend resources. The store must not be used after.
+	Close() error
+}
+
+// nullStore discards everything: the default backend when no data
+// directory is configured, and a convenient stand-in for tests.
+type nullStore struct{}
+
+var nullSingleton Store = nullStore{}
+
+// Null returns the shared no-op Store.
+func Null() Store { return nullSingleton }
+
+func (nullStore) SaveSnapshot(string, *Snapshot) error       { return nil }
+func (nullStore) BeginBatch(string, *Batch) (int, error)     { return 0, nil }
+func (nullStore) CommitBatch(string, uint64) (int, error)    { return 0, nil }
+func (nullStore) Load(string) (*Snapshot, []CommittedBatch, error) {
+	return nil, nil, ErrNotFound
+}
+func (nullStore) List() ([]string, error) { return nil, nil }
+func (nullStore) Delete(string) error     { return nil }
+func (nullStore) WALSize(string) int64    { return 0 }
+func (nullStore) Durable() bool           { return false }
+func (nullStore) Close() error            { return nil }
