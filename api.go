@@ -129,6 +129,24 @@ func ExactFraction(approx, exact []int32) float64 {
 func DefaultThreads() int { return localhi.DefaultThreads() }
 
 // ---------------------------------------------------------------------------
+// Anytime progress.
+
+// Progress publishes copy-on-write τ snapshots with per-sweep
+// convergence metrics while a local decomposition runs: poll Latest,
+// stream via Subscribe, and wait on Done. Set it on Options.Progress.
+// See docs/ANYTIME.md for the anytime model.
+type Progress = localhi.Progress
+
+// ProgressSnapshot is one immutable anytime observation: the τ array
+// copy plus max τ, τ sum, the per-sweep update rate and the fraction of
+// stable cells — the paper's ground-truth-free convergence signals.
+type ProgressSnapshot = localhi.Snapshot
+
+// NewProgress constructs a progress publisher that snapshots every k-th
+// sweep (k <= 1 means every sweep; the final sweep always publishes).
+func NewProgress(every int) *Progress { return localhi.NewProgress(every) }
+
+// ---------------------------------------------------------------------------
 // Serving layer (nucleusd).
 
 // ServerConfig configures the nucleusd HTTP serving layer: worker pool

@@ -1,8 +1,10 @@
 // Command benchsweep is the benchmark smoke harness for the sweep kernels:
 // it runs the localhi benchmarks with -benchmem, parses the results, and
 // writes a machine-readable BENCH_sweep.json artifact (ns/op, B/op,
-// allocs/op and the work-visits/op cost metric per benchmark, plus the
-// indexed-vs-baseline SND speedup). It exits non-zero when the fused
+// allocs/op, the work-visits/op cost metric, and the sweeps/op +
+// updates/op convergence metrics per benchmark, plus the
+// indexed-vs-baseline SND speedup; the header records numCPU and
+// GOMAXPROCS so runs on cgroup-limited machines are comparable). It exits non-zero when the fused
 // steady-state kernel benchmark reports any allocations — the
 // zero-allocation claim is a hard regression gate — or when the measured
 // speedup falls below -min-speedup (0 disables the speedup gate, e.g. on
@@ -41,16 +43,26 @@ type benchResult struct {
 	BytesPerOp      *float64 `json:"bytesPerOp,omitempty"`
 	AllocsPerOp     *float64 `json:"allocsPerOp,omitempty"`
 	WorkVisitsPerOp *float64 `json:"workVisitsPerOp,omitempty"`
+	// SweepsPerOp and UpdatesPerOp are the convergence-metric columns of
+	// the full-decomposition benchmarks (sweeps run and τ decrements
+	// applied per decomposition) — the reproducible source of the anytime
+	// progress numbers in docs/PERFORMANCE.md.
+	SweepsPerOp  *float64 `json:"sweepsPerOp,omitempty"`
+	UpdatesPerOp *float64 `json:"updatesPerOp,omitempty"`
 }
 
 // artifact is the BENCH_sweep.json schema.
 type artifact struct {
-	GeneratedAt time.Time     `json:"generatedAt"`
-	GoOS        string        `json:"goos"`
-	GoArch      string        `json:"goarch"`
-	NumCPU      int           `json:"numCPU"`
-	Package     string        `json:"package"`
-	Benchmarks  []benchResult `json:"benchmarks"`
+	GeneratedAt time.Time `json:"generatedAt"`
+	GoOS        string    `json:"goos"`
+	GoArch      string    `json:"goarch"`
+	NumCPU      int       `json:"numCPU"`
+	// GoMaxProcs is runtime.GOMAXPROCS(0) at measurement time: on
+	// cgroup-limited CI runners it is the actual parallelism available,
+	// which numCPU alone misreports.
+	GoMaxProcs int           `json:"goMaxProcs"`
+	Package    string        `json:"package"`
+	Benchmarks []benchResult `json:"benchmarks"`
 	// SpeedupSndIndexed is baseline ns/op divided by indexed ns/op for the
 	// full SND decomposition on the bundled truss dataset.
 	SpeedupSndIndexed float64 `json:"speedupSndIndexed"`
@@ -93,6 +105,10 @@ func parseBench(r io.Reader) ([]benchResult, error) {
 				res.AllocsPerOp = &val
 			case "work-visits/op":
 				res.WorkVisitsPerOp = &val
+			case "sweeps/op":
+				res.SweepsPerOp = &val
+			case "updates/op":
+				res.UpdatesPerOp = &val
 			}
 		}
 		out = append(out, res)
@@ -117,6 +133,7 @@ func buildArtifact(results []benchResult, pkg string, minSpeedup float64) (*arti
 		GoOS:        runtime.GOOS,
 		GoArch:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Package:     pkg,
 		Benchmarks:  results,
 	}

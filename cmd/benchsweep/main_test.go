@@ -9,8 +9,8 @@ const sampleOutput = `goos: linux
 goarch: amd64
 pkg: nucleus/internal/localhi
 cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
-BenchmarkSndTruss-8           	       2	 429884678 ns/op	   6867840 work-visits/op	66911432 B/op	 3026762 allocs/op
-BenchmarkSndTrussIndexed-8    	       2	  72195275 ns/op	   6867840 work-visits/op	  329816 B/op	     330 allocs/op
+BenchmarkSndTruss-8           	       2	 429884678 ns/op	        32.00 sweeps/op	     65110 updates/op	   6867840 work-visits/op	66911432 B/op	 3026762 allocs/op
+BenchmarkSndTrussIndexed-8    	       2	  72195275 ns/op	        32.00 sweeps/op	     65110 updates/op	   6867840 work-visits/op	  329816 B/op	     330 allocs/op
 BenchmarkSweepKernelFused-8   	       2	   2672216 ns/op	    214620 work-visits/op	       0 B/op	       0 allocs/op
 BenchmarkSweepKernelGeneric-8 	       2	  14548084 ns/op	    214620 work-visits/op	 2080680 B/op	   94576 allocs/op
 PASS
@@ -34,6 +34,12 @@ func TestParseBench(t *testing.T) {
 	}
 	if base.WorkVisitsPerOp == nil || *base.WorkVisitsPerOp != 6867840 {
 		t.Fatalf("work-visits metric not parsed: %+v", base)
+	}
+	if base.SweepsPerOp == nil || *base.SweepsPerOp != 32 {
+		t.Fatalf("sweeps convergence metric not parsed: %+v", base)
+	}
+	if base.UpdatesPerOp == nil || *base.UpdatesPerOp != 65110 {
+		t.Fatalf("updates convergence metric not parsed: %+v", base)
 	}
 	fused := find(results, "BenchmarkSweepKernelFused")
 	if fused.AllocsPerOp == nil || *fused.AllocsPerOp != 0 {

@@ -1,11 +1,14 @@
 // Command nucleus-cli decomposes a graph from an edge-list file and prints
 // the κ histogram and, optionally, the nucleus hierarchy. It also inspects
-// nucleusd's durable snapshot files.
+// nucleusd's durable snapshot files and follows the anytime progress of
+// nucleusd jobs over SSE.
 //
 //	nucleus-cli -graph g.txt -dec truss -alg and -threads 4
 //	nucleus-cli -graph g.txt -dec core -hierarchy -min-cells 10
 //	nucleus-cli -graph g.txt -r 2 -s 4            # generic (r,s) via hypergraph
 //	nucleus-cli snapshot inspect <data-dir>/graphs/<name>/snapshot.nsnap
+//	nucleus-cli watch -server http://localhost:8080 -graph web -dec truss
+//	nucleus-cli watch -server http://localhost:8080 -job j42
 package main
 
 import (
@@ -30,6 +33,9 @@ func main() {
 func run(args []string, w io.Writer) error {
 	if len(args) > 0 && args[0] == "snapshot" {
 		return runSnapshot(args[1:], w)
+	}
+	if len(args) > 0 && args[0] == "watch" {
+		return runWatch(args[1:], w)
 	}
 	fs := flag.NewFlagSet("nucleus-cli", flag.ContinueOnError)
 	var (

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	root "nucleus"
+)
+
+// watchServer spins a nucleusd instance with an uploaded path graph (a
+// slow-converging SND fixture) behind httptest.
+func watchServer(t *testing.T, n int) *httptest.Server {
+	t.Helper()
+	srv := root.NewServer(root.ServerConfig{Workers: 1})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	var sb strings.Builder
+	for i := 0; i < n-1; i++ {
+		fmt.Fprintf(&sb, "%d %d\n", i, i+1)
+	}
+	resp, err := http.Post(ts.URL+"/graphs/p", "text/plain", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	return ts
+}
+
+func TestWatchSubmitAndFollow(t *testing.T) {
+	ts := watchServer(t, 801)
+	var sb strings.Builder
+	if err := run([]string{"watch", "-server", ts.URL, "-graph", "p", "-dec", "core", "-alg", "snd"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "submitted job ") {
+		t.Fatalf("missing submit line: %q", out)
+	}
+	if !strings.Contains(out, "job done") || !strings.Contains(out, "exact (tau = kappa certified)") {
+		t.Fatalf("missing terminal summary: %q", out)
+	}
+	// The path graph's max τ is 2 until the endpoint influence meets in
+	// the middle; the exact max core number is 1.
+	if !strings.Contains(out, "max-tau 1,") {
+		t.Fatalf("final max-tau not 1: %q", out)
+	}
+}
+
+func TestWatchExistingJobAndErrors(t *testing.T) {
+	ts := watchServer(t, 801)
+	// Unknown job id surfaces the server error.
+	if err := run([]string{"watch", "-server", ts.URL, "-job", "zzz"}, &strings.Builder{}); err == nil {
+		t.Fatal("watching an unknown job succeeded")
+	}
+	// -job and -graph are mutually exclusive (and one is required).
+	if err := run([]string{"watch", "-server", ts.URL}, &strings.Builder{}); err == nil {
+		t.Fatal("watch without -job/-graph succeeded")
+	}
+}

@@ -1,10 +1,14 @@
 // Command nucleusd serves nucleus decompositions over HTTP/JSON: a graph
 // registry, an asynchronous decomposition job queue with an LRU result
-// cache, and synchronous query-driven estimation, hierarchy and
-// densest-subgraph endpoints. See docs/API.md for the endpoint reference.
+// cache, anytime serving of in-flight jobs (progress polling, SSE
+// streaming, cooperative cancellation, deadline/sweep-budgeted
+// synchronous queries), and synchronous query-driven estimation,
+// hierarchy and densest-subgraph endpoints. See docs/API.md for the
+// endpoint reference and docs/ANYTIME.md for the anytime model.
 //
 //	nucleusd -addr :8080 -workers 4 -cache 64
 //	nucleusd -addr :8080 -data-dir /var/lib/nucleusd   # durable
+//	nucleusd -addr :8080 -progress-every 4             # sample anytime snapshots
 //
 // With -data-dir, uploads are persisted as binary snapshots and edit
 // batches are write-ahead logged before they are applied; on startup the
@@ -51,6 +55,7 @@ func run(args []string) error {
 		indexMem   = fs.Int64("index-mem-budget", 1024, "flat s-clique index budget per instance in MiB (0 disables indexing)")
 		dataDir    = fs.String("data-dir", "", "directory for durable graph storage (snapshots + WAL); empty disables persistence")
 		walCompact = fs.Int64("wal-compact-threshold", 4, "per-graph WAL size in MiB beyond which the compactor folds the log into a fresh snapshot (0 disables compaction)")
+		progEvery  = fs.Int("progress-every", 1, "publish an anytime progress snapshot every k-th sweep of running jobs (0 disables progress publishing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -86,6 +91,9 @@ func run(args []string) error {
 	if *walCompact < 0 {
 		return fmt.Errorf("-wal-compact-threshold must be >= 0 MiB (got %d; 0 disables compaction)", *walCompact)
 	}
+	if *progEvery < 0 {
+		return fmt.Errorf("-progress-every must be >= 0 (got %d; 0 disables progress publishing)", *progEvery)
+	}
 	// 0 MiB means "no flat indexes", which the Config encodes as a
 	// negative budget (its zero value selects the 1 GiB default).
 	indexBudget := *indexMem << 20
@@ -97,6 +105,12 @@ func run(args []string) error {
 	walThreshold := *walCompact << 20
 	if *walCompact == 0 {
 		walThreshold = -1
+	}
+	// And for progress: 0 on the flag disables publishing, which the
+	// Config encodes as a negative sampling interval.
+	progressEvery := *progEvery
+	if progressEvery == 0 {
+		progressEvery = -1
 	}
 
 	var st root.GraphStore
@@ -118,6 +132,7 @@ func run(args []string) error {
 		IndexMemBudget:  indexBudget,
 		Store:           st,
 		WALCompactBytes: walThreshold,
+		ProgressEvery:   progressEvery,
 	})
 	defer srv.Close()
 

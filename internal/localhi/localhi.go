@@ -18,10 +18,14 @@
 //
 // A converged run yields the exact decomposition (Result.Converged);
 // bounding Options.MaxSweeps yields an anytime approximation with the
-// one-sided guarantee τ ≥ κ. Options.Subset restricts recomputation to a
-// cell subset (the query-driven mode of package query), and
-// Options.InitialTau warm-starts reconvergence after graph edits (package
-// dynamic).
+// one-sided guarantee τ ≥ κ. Options.Progress publishes copy-on-write τ
+// snapshots with per-sweep convergence metrics while a run is still in
+// flight, and Options.Stop supports cooperative cancellation and
+// wall-clock deadlines — together they make the anytime property
+// observable from outside the run (see docs/ANYTIME.md).
+// Options.Subset restricts recomputation to a cell subset (the
+// query-driven mode of package query), and Options.InitialTau warm-starts
+// reconvergence after graph edits (package dynamic).
 package localhi
 
 import (
@@ -87,6 +91,16 @@ type Options struct {
 	// Values above a cell's s-degree are clamped to it (H can never exceed
 	// the s-clique count, so the clamp is free and keeps Preserve sound).
 	InitialTau []int32
+	// Progress, when non-nil, receives a copy-on-write snapshot of τ plus
+	// per-sweep convergence metrics after every sweep, and a Final snapshot
+	// when the run ends (see Progress). Publishing runs between sweeps on
+	// the coordinating goroutine, so the fused kernels stay untouched.
+	Progress *Progress
+	// Stop, when non-nil, is polled between sweeps; once it returns true
+	// the run ends after the current sweep and returns the intermediate τ
+	// (still a valid approximation: τ ≥ κ) with Result.Stopped set.
+	// Cooperative cancellation and wall-clock budgets hook in here.
+	Stop func() bool
 }
 
 // Result reports the outcome of a local decomposition run.
@@ -102,6 +116,10 @@ type Result struct {
 	Sweeps int
 	// Converged reports whether τ = κ was certified.
 	Converged bool
+	// Stopped reports that Options.Stop ended the run early (cancellation
+	// or a deadline), as opposed to convergence or an exhausted MaxSweeps
+	// budget.
+	Stopped bool
 	// Updates is the total number of τ decrements applied.
 	Updates int64
 	// SkippedCells counts cell visits avoided by the notification
@@ -189,6 +207,9 @@ func Snd(inst nucleus.Instance, opts Options) *Result {
 		if opts.OnSweep != nil {
 			opts.OnSweep(res.Sweeps, tau)
 		}
+		if opts.Progress != nil {
+			opts.Progress.observe(res.Sweeps, tau, updates, false, false)
+		}
 		if updates == 0 {
 			res.Converged = true
 			break
@@ -196,8 +217,15 @@ func Snd(inst nucleus.Instance, opts Options) *Result {
 		if opts.MaxSweeps > 0 && res.Sweeps >= opts.MaxSweeps {
 			break
 		}
+		if opts.Stop != nil && opts.Stop() {
+			res.Stopped = true
+			break
+		}
 	}
 	res.Tau = tau
+	if opts.Progress != nil {
+		opts.Progress.finish(res)
+	}
 	return res
 }
 
@@ -280,6 +308,9 @@ func And(inst nucleus.Instance, opts Options) *Result {
 		if opts.OnSweep != nil {
 			opts.OnSweep(res.Sweeps, tau)
 		}
+		if opts.Progress != nil {
+			opts.Progress.observe(res.Sweeps, tau, updates, false, false)
+		}
 		return updates
 	}
 
@@ -290,6 +321,13 @@ func And(inst nucleus.Instance, opts Options) *Result {
 	// τ, which is still a valid approximation (τ ≥ κ, Theorem 1).
 	for {
 		if opts.MaxSweeps > 0 && res.Sweeps >= opts.MaxSweeps {
+			break
+		}
+		// Checked only after the first sweep (like Snd): a stop signal can
+		// end a run early, but never before there is an intermediate τ
+		// worth returning.
+		if res.Sweeps > 0 && opts.Stop != nil && opts.Stop() {
+			res.Stopped = true
 			break
 		}
 		updates := runSweep(false)
@@ -315,6 +353,9 @@ func And(inst nucleus.Instance, opts Options) *Result {
 		}
 	}
 	res.Tau = tau
+	if opts.Progress != nil {
+		opts.Progress.finish(res)
+	}
 	return res
 }
 

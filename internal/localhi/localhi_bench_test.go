@@ -21,30 +21,54 @@ func benchIndexedTrussInstance() nucleus.Instance {
 
 // reportWork attaches the s-clique visit count as a custom benchmark
 // metric, so the benchsweep artifact can compare the paid work across
-// kernel variants.
+// kernel variants. The timer stops before anything else: b.Helper() and
+// b.ReportMetric() both allocate, and at small -benchtime (1x) those
+// framework allocations would otherwise leak into allocs/op and trip
+// the zero-allocation gate.
 func reportWork(b *testing.B, visits int64) {
+	b.StopTimer()
 	b.Helper()
 	b.ReportMetric(float64(visits)/float64(b.N), "work-visits/op")
 }
 
+// reportConvergence attaches the per-run sweep and τ-decrement counts —
+// the convergence metrics behind the anytime progress numbers quoted in
+// docs/PERFORMANCE.md, reproducible via cmd/benchsweep.
+func reportConvergence(b *testing.B, sweeps int, updates int64) {
+	b.StopTimer() // idempotent; see reportWork
+	b.Helper()
+	b.ReportMetric(float64(sweeps)/float64(b.N), "sweeps/op")
+	b.ReportMetric(float64(updates)/float64(b.N), "updates/op")
+}
+
 func benchSnd(b *testing.B, inst nucleus.Instance, opts Options) {
 	b.Helper()
-	var visits int64
+	var visits, updates int64
+	var sweeps int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		visits += Snd(inst, opts).WorkVisits
+		res := Snd(inst, opts)
+		visits += res.WorkVisits
+		sweeps += res.Sweeps
+		updates += res.Updates
 	}
 	reportWork(b, visits)
+	reportConvergence(b, sweeps, updates)
 }
 
 func benchAnd(b *testing.B, inst nucleus.Instance, opts Options) {
 	b.Helper()
-	var visits int64
+	var visits, updates int64
+	var sweeps int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		visits += And(inst, opts).WorkVisits
+		res := And(inst, opts)
+		visits += res.WorkVisits
+		sweeps += res.Sweeps
+		updates += res.Updates
 	}
 	reportWork(b, visits)
+	reportConvergence(b, sweeps, updates)
 }
 
 // SND on the on-the-fly instance (sorted-merge intersection per triangle

@@ -1,0 +1,498 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"nucleus/internal/localhi"
+)
+
+// Anytime serving: the HTTP surface of the paper's headline property.
+// Theorem 1 makes every intermediate τ of a local decomposition a valid,
+// monotonically tightening upper bound on κ, so a running job has useful
+// partial results after every sweep. This file exposes them:
+//
+//   - GET  /jobs/{id}/progress — poll the freshest τ snapshot metrics;
+//   - GET  /jobs/{id}/stream   — server-sent events, one per sweep;
+//   - DELETE /jobs/{id}        — cooperative cancellation;
+//   - GET  /graphs/{name}/decompose — synchronous decomposition under a
+//     sweep budget (?maxSweeps=) and/or wall-clock deadline (?maxMs=),
+//     returning the current τ bound with approximate:true when the run
+//     did not converge in budget.
+//
+// See docs/ANYTIME.md for the model and docs/API.md for the endpoints.
+
+// progressSnapshotView is the JSON shape of one anytime progress
+// observation (a localhi.Snapshot, or a synthesized equivalent for
+// results that never had a live publisher).
+type progressSnapshotView struct {
+	// Sweep is the 1-based sweep the snapshot was taken after.
+	Sweep int `json:"sweep"`
+	Cells int `json:"cells"`
+	// MaxTau upper-bounds the largest κ and never rises across snapshots.
+	MaxTau int32 `json:"maxTau"`
+	// TauSum is the scalar progress measure: monotonically non-increasing,
+	// stationary exactly at κ.
+	TauSum int64 `json:"tauSum"`
+	// Updates is the number of τ decrements in this sweep; UpdateRate is
+	// Updates/Cells and FractionStable its complement — the ground-truth-
+	// free convergence signals (§1.2): the rate decays to 0 as τ → κ.
+	Updates        int64   `json:"updates"`
+	UpdateRate     float64 `json:"updateRate"`
+	FractionStable float64 `json:"fractionStable"`
+	Converged      bool    `json:"converged"`
+	Final          bool    `json:"final"`
+	ElapsedMs      float64 `json:"elapsedMs"`
+}
+
+func snapView(s *localhi.Snapshot) progressSnapshotView {
+	return progressSnapshotView{
+		Sweep:          s.Sweep,
+		Cells:          len(s.Tau),
+		MaxTau:         s.MaxTau,
+		TauSum:         s.TauSum,
+		Updates:        s.Updates,
+		UpdateRate:     s.UpdateRate,
+		FractionStable: s.FractionStable,
+		Converged:      s.Converged,
+		Final:          s.Final,
+		ElapsedMs:      float64(s.Elapsed) / float64(time.Millisecond),
+	}
+}
+
+// synthSnapshotView builds the terminal snapshot for a result that had
+// no live publisher (peel runs, cache hits, publishing disabled).
+func synthSnapshotView(res *decompResult, durationMs float64) progressSnapshotView {
+	var sum int64
+	for _, k := range res.Kappa {
+		sum += int64(k)
+	}
+	v := progressSnapshotView{
+		Sweep:     res.Sweeps,
+		Cells:     len(res.Kappa),
+		MaxTau:    res.MaxKappa,
+		TauSum:    sum,
+		Updates:   res.LastSweepUpdates,
+		Converged: res.Converged,
+		Final:     true,
+		ElapsedMs: durationMs,
+	}
+	if n := len(res.Kappa); n > 0 {
+		v.UpdateRate = float64(res.LastSweepUpdates) / float64(n)
+	}
+	v.FractionStable = 1 - v.UpdateRate
+	return v
+}
+
+// jobProgressResponse is the body of GET /jobs/{id}/progress and the
+// payload of the SSE done event.
+type jobProgressResponse struct {
+	ID     string   `json:"id"`
+	State  JobState `json:"state"`
+	Cached bool     `json:"cached"`
+	Error  string   `json:"error,omitempty"`
+	// Approximate is true while the freshest τ is an uncertified upper
+	// bound; it flips to false only once convergence is certified.
+	Approximate bool `json:"approximate"`
+	// Snapshot is the freshest progress observation; absent before the
+	// first sweep of a queued/just-started job.
+	Snapshot *progressSnapshotView `json:"snapshot,omitempty"`
+}
+
+func (j *job) stateNow() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (s *Server) jobProgress(j *job) jobProgressResponse {
+	v := viewJob(j)
+	out := jobProgressResponse{ID: v.ID, State: v.State, Cached: v.Cached, Error: v.Error, Approximate: true}
+	if p := j.progress(); p != nil {
+		if snap := p.Latest(); snap != nil {
+			sv := snapView(snap)
+			out.Snapshot = &sv
+			out.Approximate = !snap.Converged
+			return out
+		}
+	}
+	// No published snapshot (queued, peel, cache hit, or publishing
+	// disabled): synthesize the terminal view from the stored result.
+	j.mu.Lock()
+	res := j.result
+	j.mu.Unlock()
+	if res != nil {
+		sv := synthSnapshotView(res, v.DurationMS)
+		out.Snapshot = &sv
+		out.Approximate = !res.Converged
+	}
+	return out
+}
+
+func (s *Server) handleJobProgress(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobProgress(j))
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	running, err := s.jobs.cancel(j)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	status := http.StatusOK // queued: cancelled on the spot
+	if running {
+		// Cooperative: the engine observes the flag at its next sweep
+		// boundary; poll GET /jobs/{id} for the transition to cancelled.
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, viewJob(j))
+}
+
+// writeSSEEvent emits one server-sent event with a JSON payload.
+func writeSSEEvent(w io.Writer, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte("{}")
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+// terminal reports whether a job state is final.
+func terminal(st JobState) bool {
+	return st == JobDone || st == JobFailed || st == JobCancelled
+}
+
+// handleJobStream streams a job's anytime progress as server-sent
+// events: one `progress` event per published sweep snapshot (drop-oldest
+// under a slow client, so the stream always shows the freshest state)
+// followed by a single `done` event carrying the terminal state and
+// final snapshot. The connection closes after `done` or when the client
+// disconnects.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	s.sseStreams.Add(1)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // keep reverse proxies from buffering the feed
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	ctx := r.Context()
+
+	var last *localhi.Progress
+	for {
+		// Wait for a publisher (the job may still be queued) or a terminal
+		// state (cache hits and peel jobs never get one).
+		var prog *localhi.Progress
+		for {
+			prog = j.progress()
+			if (prog != nil && prog != last) || terminal(j.stateNow()) {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return
+			// 25ms keeps the wait for a queued job's publisher cheap (40
+			// wakeups/s per open stream) while adding negligible latency
+			// to the first progress event.
+			case <-time.After(25 * time.Millisecond):
+			}
+		}
+		if prog == nil || prog == last {
+			break // terminal without (new) progress: emit done below
+		}
+		last = prog
+		ch, cancel := prog.Subscribe(64)
+	recv:
+		for {
+			select {
+			case <-ctx.Done():
+				cancel()
+				return
+			case snap, ok := <-ch:
+				if !ok {
+					break recv
+				}
+				if snap.Final {
+					// The final snapshot travels in the done event, where
+					// it is paired with the job's terminal state.
+					continue
+				}
+				writeSSEEvent(w, "progress", snapView(snap))
+				fl.Flush()
+			}
+		}
+		cancel()
+		// The publisher finished, but if this job had coalesced onto a
+		// run that was cancelled by its owner, the computation restarts
+		// under a fresh publisher — loop and re-attach instead of
+		// reporting a non-terminal "done".
+	}
+
+	// Give the worker a moment to publish the terminal job state (it is
+	// set just after the engine returns), then report it.
+	deadline := time.Now().Add(5 * time.Second)
+	for !terminal(j.stateNow()) && time.Now().Before(deadline) {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	writeSSEEvent(w, "done", s.jobProgress(j))
+	fl.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted synchronous decomposition.
+
+// convergenceStatsView reports how settled a (possibly partial) run was
+// when it returned.
+type convergenceStatsView struct {
+	// Updates is the total τ decrements the run applied;
+	// LastSweepUpdates the decrements of its final sweep alone.
+	Updates          int64 `json:"updates"`
+	LastSweepUpdates int64 `json:"lastSweepUpdates"`
+	// UpdateRate is LastSweepUpdates/Cells; FractionStable its
+	// complement. An exact run always ends at rate 0 / stable 1.
+	UpdateRate     float64 `json:"updateRate"`
+	FractionStable float64 `json:"fractionStable"`
+}
+
+// accuracyView quantifies a partial τ against a cached converged κ of
+// the same graph version and decomposition — only available when some
+// earlier request already paid for the exact result.
+type accuracyView struct {
+	// MaxError is the largest τ−κ over all cells (0 means τ is already
+	// exact even though uncertified); MeanError the average.
+	MaxError  int32   `json:"maxError"`
+	MeanError float64 `json:"meanError"`
+	// ExactFraction is the fraction of cells whose τ equals κ.
+	ExactFraction float64 `json:"exactFraction"`
+}
+
+// decomposeResponse is the body of GET /graphs/{name}/decompose.
+type decomposeResponse struct {
+	Graph         string `json:"graph"`
+	Version       uint64 `json:"version"`
+	Decomposition string `json:"decomposition"`
+	Algorithm     string `json:"algorithm"`
+	MaxSweeps     int    `json:"maxSweeps"`
+	MaxMs         int    `json:"maxMs"`
+	Cells         int    `json:"cells"`
+	// MaxTau is the largest τ value: for a converged run, the largest κ.
+	MaxTau    int32 `json:"maxTau"`
+	Converged bool  `json:"converged"`
+	// Approximate marks an uncertified result: the returned τ (and
+	// histogram) upper-bound the exact κ pointwise but may still shrink.
+	Approximate bool `json:"approximate"`
+	// StoppedBy is what ended a non-converged run: "deadline" (maxMs) or
+	// "sweeps" (maxSweeps); empty for converged runs.
+	StoppedBy   string               `json:"stoppedBy,omitempty"`
+	Sweeps      int                  `json:"sweeps"`
+	Iterations  int                  `json:"iterations"`
+	DurationMs  float64              `json:"durationMs"`
+	Convergence convergenceStatsView `json:"convergence"`
+	// Accuracy compares the partial τ to a cached converged κ when one
+	// exists for this graph version; absent otherwise.
+	Accuracy *accuracyView `json:"accuracy,omitempty"`
+	// Histogram[k] is the number of cells with τ exactly k.
+	Histogram []int64 `json:"histogram"`
+	// Tau is the full per-cell τ array; only with ?tau=true (alias
+	// ?kappa=true).
+	Tau []int32 `json:"tau,omitempty"`
+}
+
+// queryIntAny reads the first present query parameter among names.
+func queryIntAny(r *http.Request, def int, names ...string) (int, error) {
+	for _, n := range names {
+		if r.URL.Query().Get(n) != "" {
+			return queryInt(r, n, def)
+		}
+	}
+	return def, nil
+}
+
+// convergedBaseline returns a cached converged κ for (entry, dec) under
+// any algorithm, or nil. peek, not get: accuracy introspection must not
+// distort the LRU order the way client traffic does.
+func (s *Server) convergedBaseline(e *graphEntry, dec string) *decompResult {
+	for _, alg := range []string{"and", "snd", "peel"} {
+		if res, ok := s.cache.peek(cacheKey{e.name, e.version, dec, alg, 0}); ok && res.Converged {
+			return res
+		}
+	}
+	return nil
+}
+
+// handleDecompose is the budget-bounded synchronous decomposition: the
+// caller trades exactness for a response-time guarantee via ?maxSweeps=
+// (deterministic, cacheable) and/or ?maxMs= (wall-clock deadline,
+// checked between sweeps, never cached). Without budgets it behaves like
+// the other synchronous consumers: full decomposition through the cache.
+func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("name"))
+		return
+	}
+	dec, err := normalizeDec(r.URL.Query().Get("dec"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	alg, err := normalizeAlg(r.URL.Query().Get("alg"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	maxSweeps, err := queryIntAny(r, 0, "maxSweeps", "max_sweeps")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	maxMs, err := queryIntAny(r, 0, "maxMs", "max_ms")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if maxSweeps < 0 {
+		maxSweeps = 0
+	}
+	if maxMs < 0 {
+		maxMs = 0
+	}
+	s.budgetedQueries.Add(1)
+
+	start := time.Now()
+	var res *decompResult
+	stoppedBy := ""
+	if maxMs == 0 {
+		// Deterministic request: fully cacheable and single-flighted.
+		res, err = s.kappaFor(e, dec, alg, maxSweeps)
+	} else {
+		// Deadline-bounded: serve a cached exact result if one exists
+		// (it cannot be beaten), otherwise run fresh with a between-sweep
+		// deadline check. The partial result is timing-dependent, so it
+		// is never cached — but a run that converges inside its deadline
+		// produced the exact answer and seeds the cache for everyone.
+		exactKey := cacheKey{e.name, e.version, dec, alg, 0}
+		budgetKey := cacheKey{e.name, e.version, dec, alg, maxSweeps}
+		if cached, ok := s.cache.get(exactKey); ok {
+			s.cacheHits.Add(1)
+			res = cached
+		} else if cached, ok := s.cache.get(budgetKey); maxSweeps > 0 && ok {
+			// The deterministic maxSweeps approximation is already known
+			// (from a prior budgeted request); it trivially satisfies any
+			// deadline.
+			s.cacheHits.Add(1)
+			res = cached
+		} else {
+			deadline := start.Add(time.Duration(maxMs) * time.Millisecond)
+			func() {
+				s.acquireSync()
+				defer s.releaseSync()
+				res, err = s.runDecomposition(e, dec, alg, s.cfg.JobThreads, maxSweeps, nil,
+					func() bool { return time.Now().After(deadline) })
+			}()
+			s.cacheMisses.Add(1)
+			if err == nil {
+				switch {
+				case res.Stopped:
+					stoppedBy = "deadline"
+					s.deadlineStops.Add(1)
+				case res.Converged:
+					s.cacheIfLive(exactKey, res)
+				case maxSweeps > 0:
+					// The deadline never fired, so this is the deterministic
+					// maxSweeps approximation — reusable by budget-only
+					// requests for the same key.
+					s.cacheIfLive(budgetKey, res)
+				}
+			}
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if stoppedBy == "" && !res.Converged {
+		stoppedBy = "sweeps"
+	}
+
+	n := len(res.Kappa)
+	out := decomposeResponse{
+		Graph:         e.name,
+		Version:       e.version,
+		Decomposition: dec,
+		Algorithm:     alg,
+		MaxSweeps:     maxSweeps,
+		MaxMs:         maxMs,
+		Cells:         n,
+		MaxTau:        res.MaxKappa,
+		Converged:     res.Converged,
+		Approximate:   !res.Converged,
+		StoppedBy:     stoppedBy,
+		Sweeps:        res.Sweeps,
+		Iterations:    res.Iterations,
+		DurationMs:    float64(time.Since(start)) / float64(time.Millisecond),
+		Convergence: convergenceStatsView{
+			Updates:          res.Updates,
+			LastSweepUpdates: res.LastSweepUpdates,
+		},
+	}
+	if n > 0 {
+		out.Convergence.UpdateRate = float64(res.LastSweepUpdates) / float64(n)
+	}
+	out.Convergence.FractionStable = 1 - out.Convergence.UpdateRate
+	if !res.Converged {
+		if base := s.convergedBaseline(e, dec); base != nil && len(base.Kappa) == n && n > 0 {
+			acc := &accuracyView{}
+			var sum int64
+			exact := 0
+			for c, tau := range res.Kappa {
+				d := tau - base.Kappa[c]
+				if d > acc.MaxError {
+					acc.MaxError = d
+				}
+				sum += int64(d)
+				if d == 0 {
+					exact++
+				}
+			}
+			acc.MeanError = float64(sum) / float64(n)
+			acc.ExactFraction = float64(exact) / float64(n)
+			out.Accuracy = acc
+		}
+	}
+	hist := make([]int64, res.MaxKappa+1)
+	for _, k := range res.Kappa {
+		hist[k]++
+	}
+	out.Histogram = hist
+	if q := r.URL.Query(); q.Get("tau") == "true" || q.Get("kappa") == "true" {
+		out.Tau = res.Kappa
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -28,6 +28,17 @@ type decompResult struct {
 	Converged  bool
 	Iterations int
 	Sweeps     int
+	// Stopped is true when the run was ended by cooperative cancellation
+	// or a wall-clock deadline rather than convergence or a sweep budget.
+	// Stopped results are never cached: they depend on timing, not on the
+	// request parameters.
+	Stopped bool
+	// Updates is the total number of τ decrements the run applied;
+	// LastSweepUpdates is the count from the final sweep alone (the
+	// ground-truth-free convergence signal surfaced to clients: its decay
+	// toward zero tracks τ approaching κ). Both are 0 for peeling.
+	Updates          int64
+	LastSweepUpdates int64
 	// Inst is the instance κ was computed on. Kept with the result so the
 	// hierarchy/nuclei endpoints reuse the (often expensive) s-clique
 	// enumeration instead of rebuilding it per request.

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestDocsRoutesConsistency is the docs drift gate: every route
+// registered in routes() must be documented in docs/API.md, and every
+// route documented there must still exist. Routes are extracted from the
+// source (http.ServeMux patterns are not enumerable at runtime) and from
+// the `### `-level headings of API.md, whose convention is a
+// backtick-quoted "METHOD /path" per documented route (query strings and
+// optional [?...] suffixes are ignored).
+func TestDocsRoutesConsistency(t *testing.T) {
+	src, err := os.ReadFile("server.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	registered := map[string]bool{}
+	for _, m := range regexp.MustCompile(`mux\.HandleFunc\("([A-Z]+ [^"]+)"`).FindAllStringSubmatch(string(src), -1) {
+		registered[m[1]] = true
+	}
+	if len(registered) == 0 {
+		t.Fatal("no routes found in server.go; did routes() move?")
+	}
+
+	doc, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	routeRe := regexp.MustCompile("`(GET|POST|PUT|DELETE|PATCH) (/[^`\\s?\\[]*)")
+	for _, line := range strings.Split(string(doc), "\n") {
+		if !strings.HasPrefix(line, "### ") {
+			continue
+		}
+		for _, m := range routeRe.FindAllStringSubmatch(line, -1) {
+			documented[m[1]+" "+m[2]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no route headings found in docs/API.md; did the heading convention change?")
+	}
+
+	var missing, stale []string
+	for r := range registered {
+		if !documented[r] {
+			missing = append(missing, r)
+		}
+	}
+	for r := range documented {
+		if !registered[r] {
+			stale = append(stale, r)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	if len(missing) > 0 {
+		t.Errorf("routes registered in internal/server but missing from docs/API.md headings:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+	if len(stale) > 0 {
+		t.Errorf("routes documented in docs/API.md but not registered in internal/server:\n  %s",
+			strings.Join(stale, "\n  "))
+	}
+}

@@ -80,7 +80,22 @@ type statsResponse struct {
 	Cache         cacheStats       `json:"cache"`
 	Mutations     mutationStats    `json:"mutations"`
 	Index         indexStats       `json:"index"`
+	Anytime       anytimeStats     `json:"anytime"`
 	Persistence   persistenceStats `json:"persistence"`
+}
+
+// anytimeStats reports the anytime serving surface (see docs/ANYTIME.md).
+// ProgressSnapshots counts copy-on-write τ snapshots published by
+// completed runs; Streams counts GET /jobs/{id}/stream connections
+// served; BudgetedQueries counts GET /graphs/{name}/decompose requests
+// admitted, and DeadlineStops how many of their runs were ended by the
+// ?maxMs= wall-clock deadline rather than by convergence or the sweep
+// budget.
+type anytimeStats struct {
+	ProgressSnapshots int64 `json:"progressSnapshots"`
+	Streams           int64 `json:"streams"`
+	BudgetedQueries   int64 `json:"budgetedQueries"`
+	DeadlineStops     int64 `json:"deadlineStops"`
 }
 
 // persistenceStats reports the durable store (see internal/store and
@@ -123,6 +138,7 @@ type jobsStats struct {
 	Running   int   `json:"running"`
 	Done      int   `json:"done"`
 	Failed    int   `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
 }
 
 type cacheStats struct {
@@ -169,6 +185,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Running:   running,
 			Done:      int(s.jobs.completed.Load()),
 			Failed:    int(s.jobs.failed.Load()),
+			Cancelled: s.jobs.cancelled.Load(),
 		},
 		Cache: cacheStats{
 			Hits:     hits,
@@ -191,6 +208,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Reuses:    s.idxReuses.Load(),
 			Fallbacks: s.idxFallbacks.Load(),
 			Bytes:     s.idxBytes.Load(),
+		},
+		Anytime: anytimeStats{
+			ProgressSnapshots: s.progressSnaps.Load(),
+			Streams:           s.sseStreams.Load(),
+			BudgetedQueries:   s.budgetedQueries.Load(),
+			DeadlineStops:     s.deadlineStops.Load(),
 		},
 		Persistence: persistenceStats{
 			Enabled:         s.store.Durable(),
@@ -454,6 +477,9 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	case JobDone:
 	case JobFailed:
 		writeError(w, http.StatusConflict, "job %s failed: %s", v.ID, v.Error)
+		return
+	case JobCancelled:
+		writeError(w, http.StatusConflict, "job %s was cancelled; its partial result is on GET /jobs/%s/progress", v.ID, v.ID)
 		return
 	default:
 		writeError(w, http.StatusConflict, "job %s is %s; poll GET /jobs/%s until done", v.ID, v.State, v.ID)

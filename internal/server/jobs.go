@@ -13,15 +13,18 @@ import (
 )
 
 // JobState is the lifecycle state of a decomposition job:
-// queued → running → done | failed. Cache hits jump straight to done.
+// queued → running → done | failed | cancelled. Cache hits jump straight
+// to done; DELETE /jobs/{id} cancels a queued job immediately and a
+// running one cooperatively (at its next sweep boundary).
 type JobState string
 
 // Job lifecycle states.
 const (
-	JobQueued  JobState = "queued"
-	JobRunning JobState = "running"
-	JobDone    JobState = "done"
-	JobFailed  JobState = "failed"
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
 )
 
 // jobRequest is the JSON body of POST /jobs.
@@ -46,6 +49,12 @@ type job struct {
 	entry *graphEntry
 	key   cacheKey
 
+	// cancel is the cooperative cancellation flag: DELETE /jobs/{id} sets
+	// it, and the running decomposition polls it between sweeps (it is the
+	// job's localhi Stop function). Atomic because the engine reads it off
+	// the job lock.
+	cancel atomic.Bool
+
 	mu        sync.Mutex
 	state     JobState
 	errMsg    string
@@ -54,6 +63,18 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	result    *decompResult
+	// prog is the progress publisher of the computation currently serving
+	// this job (the owning flight's — shared when this job coalesced onto
+	// another caller's run). Nil while queued, for peel jobs, for cache
+	// hits, and when progress publishing is disabled.
+	prog *localhi.Progress
+}
+
+// progress returns the job's current progress publisher, if any.
+func (j *job) progress() *localhi.Progress {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.prog
 }
 
 // jobManager owns the bounded queue and the worker pool.
@@ -71,6 +92,7 @@ type jobManager struct {
 	submitted atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
+	cancelled atomic.Int64
 }
 
 func newJobManager(s *Server, workers, queueDepth int) *jobManager {
@@ -216,8 +238,39 @@ func (m *jobManager) worker() {
 	}
 }
 
+// cancel requests cancellation of a job. A queued job is cancelled
+// immediately; a running job is cancelled cooperatively — its engine
+// stops at the next sweep boundary, and the partial τ is retained for
+// the progress endpoints. running reports whether the job was still
+// in flight (so the handler answers 202 rather than 200).
+func (m *jobManager) cancel(j *job) (running bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobQueued:
+		j.state = JobCancelled
+		j.errMsg = "cancelled before start"
+		j.finished = time.Now()
+		m.cancelled.Add(1)
+		return false, nil
+	case JobRunning:
+		j.cancel.Store(true)
+		return true, nil
+	}
+	return false, fmt.Errorf("job %s is already %s", j.id, j.state)
+}
+
 func (m *jobManager) run(j *job) {
 	j.mu.Lock()
+	if j.state == JobCancelled {
+		// Cancelled while queued; the worker just drains it. Resolve the
+		// deferred cache accounting (as the shutdown path does) so
+		// hits + misses still equals the number of admitted requests.
+		j.mu.Unlock()
+		m.s.cacheMisses.Add(1)
+		m.prune()
+		return
+	}
 	j.state = JobRunning
 	j.started = time.Now()
 	j.mu.Unlock()
@@ -226,7 +279,15 @@ func (m *jobManager) run(j *job) {
 	if threads <= 0 {
 		threads = m.s.cfg.JobThreads
 	}
-	res, shared, err := m.s.computeShared(j.key, j.entry, threads, j.req.MaxSweeps)
+	res, shared, err := m.s.computeShared(j.key, j.entry, threads, j.req.MaxSweeps,
+		j.cancel.Load, // the job's cooperative stop signal
+		func(f *flight) {
+			// Expose the (possibly shared) computation's live progress to
+			// the /jobs/{id}/progress and /stream endpoints.
+			j.mu.Lock()
+			j.prog = f.prog
+			j.mu.Unlock()
+		})
 	// Deferred per-request cache accounting (see submit): shared covers
 	// both a post-submit cache fill and coalescing onto another caller.
 	if shared {
@@ -242,6 +303,24 @@ func (m *jobManager) run(j *job) {
 		j.errMsg = err.Error()
 		j.mu.Unlock()
 		m.failed.Add(1)
+		m.prune()
+		return
+	}
+	if res.Stopped || j.cancel.Load() {
+		// res.Stopped: only this job's own cancel flag can stop its run
+		// (coalesced flights whose owner stopped are retried by
+		// computeShared), so a stopped result means this job was cancelled
+		// mid-run. The second clause covers a cancelled job that coalesced
+		// onto (or raced the completion of) a run it could not stop: the
+		// DELETE answered 202 promising a transition to cancelled, so
+		// honor it even though a full result happens to exist. Either way
+		// the partial/complete τ is kept: it is a valid upper bound and
+		// the progress endpoints keep serving the final snapshot.
+		j.state = JobCancelled
+		j.errMsg = "cancelled while running"
+		j.result = slimResult(res)
+		j.mu.Unlock()
+		m.cancelled.Add(1)
 		m.prune()
 		return
 	}
@@ -278,7 +357,7 @@ func (m *jobManager) prune() {
 			j.mu.Lock()
 			st := j.state
 			j.mu.Unlock()
-			if st == JobDone || st == JobFailed {
+			if st == JobDone || st == JobFailed || st == JobCancelled {
 				evict = i
 				break
 			}
@@ -354,8 +433,10 @@ func normalizeAlg(s string) (string, error) {
 
 // runDecomposition executes one decomposition with the selected engine,
 // reusing the entry's memoized (possibly flat-indexed) instance. dec and
-// alg must already be normalized.
-func (s *Server) runDecomposition(entry *graphEntry, dec, alg string, threads, maxSweeps int) (res *decompResult, err error) {
+// alg must already be normalized. prog (anytime progress publishing) and
+// stop (cooperative cancellation / deadlines) apply to the local
+// algorithms only; peeling is all-or-nothing and ignores both.
+func (s *Server) runDecomposition(entry *graphEntry, dec, alg string, threads, maxSweeps int, prog *localhi.Progress, stop func() bool) (res *decompResult, err error) {
 	// A decomposition touches every cell of a user-supplied graph;
 	// convert engine panics (e.g. from a hostile input that slipped past
 	// parsing) into failed jobs instead of crashing the server.
@@ -370,10 +451,10 @@ func (s *Server) runDecomposition(entry *graphEntry, dec, alg string, threads, m
 		pr := peel.Run(inst)
 		return &decompResult{Kappa: pr.Kappa, MaxKappa: pr.MaxKappa, Converged: true, Inst: inst}, nil
 	case "snd":
-		lr := localhi.Snd(inst, localhi.Options{Threads: threads, MaxSweeps: maxSweeps})
+		lr := localhi.Snd(inst, localhi.Options{Threads: threads, MaxSweeps: maxSweeps, Progress: prog, Stop: stop})
 		return localResult(lr, inst), nil
 	case "and":
-		lr := localhi.And(inst, localhi.Options{Threads: threads, MaxSweeps: maxSweeps, Notification: true})
+		lr := localhi.And(inst, localhi.Options{Threads: threads, MaxSweeps: maxSweeps, Notification: true, Progress: prog, Stop: stop})
 		return localResult(lr, inst), nil
 	}
 	return nil, fmt.Errorf("unknown algorithm %q", alg)
@@ -383,9 +464,14 @@ func localResult(lr *localhi.Result, inst inucleus.Instance) *decompResult {
 	res := &decompResult{
 		Kappa:      lr.Tau,
 		Converged:  lr.Converged,
+		Stopped:    lr.Stopped,
 		Iterations: lr.Iterations,
 		Sweeps:     lr.Sweeps,
+		Updates:    lr.Updates,
 		Inst:       inst,
+	}
+	if n := len(lr.SweepUpdates); n > 0 {
+		res.LastSweepUpdates = lr.SweepUpdates[n-1]
 	}
 	for _, k := range lr.Tau {
 		if k > res.MaxKappa {
@@ -412,7 +498,7 @@ func (s *Server) kappaFor(entry *graphEntry, dec, alg string, maxSweeps int) (*d
 	}
 	s.acquireSync()
 	defer s.releaseSync()
-	res, shared, err := s.computeShared(key, entry, s.cfg.JobThreads, maxSweeps)
+	res, shared, err := s.computeShared(key, entry, s.cfg.JobThreads, maxSweeps, nil, nil)
 	// Count before the error check so a failed computation still resolves
 	// this request's accounting (as a miss).
 	if shared {
@@ -431,43 +517,85 @@ func (s *Server) kappaFor(entry *graphEntry, dec, alg string, maxSweeps int) (*d
 // populates the cache; concurrent callers with the same key block until
 // it finishes and share the result. shared is true when this caller did
 // not do the work itself (cache hit or coalesced onto another caller).
-func (s *Server) computeShared(key cacheKey, entry *graphEntry, threads, maxSweeps int) (res *decompResult, shared bool, err error) {
-	if res, ok := s.cache.get(key); ok {
-		return res, true, nil
-	}
-	s.flightMu.Lock()
-	if f, ok := s.inflight[key]; ok {
-		s.flightMu.Unlock()
-		<-f.done
-		return f.res, true, f.err
-	}
-	f := &flight{done: make(chan struct{})}
-	s.inflight[key] = f
-	s.flightMu.Unlock()
-
-	s.coldRuns.Add(1)
-	f.res, f.err = s.runDecomposition(entry, key.dec, key.alg, threads, maxSweeps)
-	if f.err == nil {
-		s.cache.put(key, f.res)
-		// Liveness recheck: if the graph was deleted or replaced while we
-		// computed, its purge may have run before our put — take the dead
-		// entry back out. Every interleaving removes it: either the purge
-		// saw our insert, or this recheck sees the changed version.
-		if cur, ok := s.reg.get(key.graph); !ok || cur.version != key.version {
-			s.cache.remove(key)
+//
+// stop is this caller's cooperative stop signal; it is honored only when
+// this caller ends up owning the computation (a coalesced caller must
+// not kill a run other clients are waiting on). A run the owner's stop
+// ended is returned to the owner alone — it is never cached (the partial
+// τ depends on timing), and coalesced waiters transparently retry the
+// computation. onFlight, when non-nil, is invoked with the flight this
+// caller attached to (its own or an existing one) before any blocking
+// work, so callers can expose the flight's live progress publisher.
+func (s *Server) computeShared(key cacheKey, entry *graphEntry, threads, maxSweeps int, stop func() bool, onFlight func(*flight)) (res *decompResult, shared bool, err error) {
+	for {
+		if res, ok := s.cache.get(key); ok {
+			return res, true, nil
 		}
+		s.flightMu.Lock()
+		if f, ok := s.inflight[key]; ok {
+			s.flightMu.Unlock()
+			if onFlight != nil {
+				onFlight(f)
+			}
+			<-f.done
+			if f.err == nil && f.res != nil && f.res.Stopped {
+				// The owner's run was cancelled or hit its deadline; its
+				// partial result belongs to the owner, not to this caller.
+				// Retry: the flight table slot is free again.
+				continue
+			}
+			return f.res, true, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		if key.alg != "peel" && s.cfg.ProgressEvery > 0 {
+			f.prog = localhi.NewProgress(s.cfg.ProgressEvery)
+		}
+		s.inflight[key] = f
+		s.flightMu.Unlock()
+		if onFlight != nil {
+			onFlight(f)
+		}
+
+		s.coldRuns.Add(1)
+		f.res, f.err = s.runDecomposition(entry, key.dec, key.alg, threads, maxSweeps, f.prog, stop)
+		if f.prog != nil {
+			s.progressSnaps.Add(f.prog.Published())
+			// The engine finishes the publisher on every normal exit; a
+			// panic converted to err by runDecomposition would leave
+			// subscribers hanging, so release them defensively (no-op
+			// when already finished).
+			f.prog.Abort()
+		}
+		if f.err == nil && !f.res.Stopped {
+			s.cacheIfLive(key, f.res)
+		}
+		s.flightMu.Lock()
+		delete(s.inflight, key)
+		s.flightMu.Unlock()
+		close(f.done)
+		return f.res, false, f.err
 	}
-	s.flightMu.Lock()
-	delete(s.inflight, key)
-	s.flightMu.Unlock()
-	close(f.done)
-	return f.res, false, f.err
+}
+
+// cacheIfLive inserts res under key with a liveness recheck: if the
+// graph was deleted or replaced while the result was computed, its purge
+// may have run before our put — take the dead entry back out. Every
+// interleaving removes it: either the purge saw our insert, or this
+// recheck sees the changed version.
+func (s *Server) cacheIfLive(key cacheKey, res *decompResult) {
+	s.cache.put(key, res)
+	if cur, ok := s.reg.get(key.graph); !ok || cur.version != key.version {
+		s.cache.remove(key)
+	}
 }
 
 // flight is one in-progress decomposition that concurrent callers wait
-// on; res/err are set before done is closed.
+// on; res/err are set before done is closed. prog is the run's anytime
+// progress publisher (nil for peel runs or when publishing is disabled),
+// shared by every job that coalesces onto the flight.
 type flight struct {
 	done chan struct{}
 	res  *decompResult
 	err  error
+	prog *localhi.Progress
 }

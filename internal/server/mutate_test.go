@@ -418,7 +418,7 @@ func TestMutationIsolatesInFlightVersion(t *testing.T) {
 	// A computation that was in flight for the pre-mutation version
 	// finishes now: the liveness recheck must keep it out of the cache.
 	key := cacheKey{e1.name, e1.version, "core", "and", 0}
-	res, _, err := s.computeShared(key, e1, 1, 0)
+	res, _, err := s.computeShared(key, e1, 1, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

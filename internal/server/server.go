@@ -13,7 +13,14 @@
 //     cache from the previous κ (Lemma 2) instead of recomputing cold;
 //   - an asynchronous decomposition job queue backed by a bounded worker
 //     pool over the localhi (AND/SND) and peel engines, with the job
-//     lifecycle queued → running → done|failed;
+//     lifecycle queued → running → done|failed|cancelled;
+//   - anytime serving of in-flight jobs: running snd/and decompositions
+//     publish copy-on-write τ snapshots with convergence metrics after
+//     every sweep (τ ≥ κ pointwise at all times — Theorem 1 makes partial
+//     results safe upper bounds), readable by polling GET
+//     /jobs/{id}/progress or streaming GET /jobs/{id}/stream (SSE), with
+//     cooperative cancellation (DELETE /jobs/{id}) and deadline- or
+//     sweep-budgeted synchronous queries (GET /graphs/{name}/decompose);
 //   - an LRU result cache keyed by (graph, version, decomposition,
 //     algorithm, sweep budget) so repeated decomposition requests are
 //     served without recomputation;
@@ -80,6 +87,15 @@ type Config struct {
 	// replay time after a crash. 0 defaults to 4 MiB; negative disables
 	// compaction (the WAL then grows until the next upload or snapshot).
 	WALCompactBytes int64
+	// ProgressEvery samples the anytime progress publisher: running
+	// snd/and decompositions publish a copy-on-write τ snapshot (plus
+	// convergence metrics) every k-th sweep, feeding GET
+	// /jobs/{id}/progress and the /jobs/{id}/stream SSE feed. 0 defaults
+	// to 1 (every sweep); negative disables progress publishing entirely
+	// (jobs then report only their terminal result). Each published
+	// snapshot copies the τ array, so on huge graphs a larger k bounds the
+	// publishing overhead.
+	ProgressEvery int
 }
 
 // defaultWALCompactBytes is the compaction threshold applied when
@@ -117,6 +133,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WALCompactBytes == 0 {
 		c.WALCompactBytes = defaultWALCompactBytes
+	}
+	if c.ProgressEvery == 0 {
+		c.ProgressEvery = 1
 	}
 	return c
 }
@@ -168,6 +187,13 @@ type Server struct {
 	idxReuses    atomic.Int64
 	idxFallbacks atomic.Int64
 	idxBytes     atomic.Int64 // total bytes of flat indexes built since start
+
+	// Anytime-serving counters, surfaced by /stats (see anytime.go and
+	// docs/ANYTIME.md).
+	progressSnaps   atomic.Int64 // τ snapshots published by completed runs
+	sseStreams      atomic.Int64 // GET /jobs/{id}/stream connections served
+	budgetedQueries atomic.Int64 // GET /graphs/{name}/decompose requests admitted
+	deadlineStops   atomic.Int64 // budgeted runs ended by their wall-clock deadline
 
 	// Persistence state and counters, surfaced by /stats (see persist.go).
 	store           store.Store
@@ -247,6 +273,11 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /jobs", s.handleListJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /jobs/{id}/progress", s.handleJobProgress)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleJobStream)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
+
+	mux.HandleFunc("GET /graphs/{name}/decompose", s.handleDecompose)
 
 	mux.HandleFunc("POST /estimate/core", s.handleEstimateCore)
 	mux.HandleFunc("POST /estimate/truss", s.handleEstimateTruss)

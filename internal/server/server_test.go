@@ -78,7 +78,7 @@ func waitForJob(t *testing.T, base, id string) jobView {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET /jobs/%s: status %d", id, resp.StatusCode)
 		}
-		if v.State == JobDone || v.State == JobFailed {
+		if terminal(v.State) {
 			return v
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -605,7 +605,7 @@ func TestSingleFlightCoalescing(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, _, err := s.computeShared(key, e, 1, 0)
+			res, _, err := s.computeShared(key, e, 1, 0, nil, nil)
 			if err != nil {
 				t.Error(err)
 				return
@@ -728,7 +728,7 @@ func TestStaleResultNotCachedAfterReplace(t *testing.T) {
 	// A computation that was in flight for the dead version finishes now:
 	// the liveness recheck must take its insert back out of the cache.
 	key := cacheKey{e1.name, e1.version, "core", "and", 0}
-	if _, _, err := s.computeShared(key, e1, 1, 0); err != nil {
+	if _, _, err := s.computeShared(key, e1, 1, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.cache.get(key); ok {
@@ -738,7 +738,7 @@ func TestStaleResultNotCachedAfterReplace(t *testing.T) {
 	// The live version caches normally.
 	e2, _ := s.reg.get("g")
 	live := cacheKey{e2.name, e2.version, "core", "and", 0}
-	if _, _, err := s.computeShared(live, e2, 1, 0); err != nil {
+	if _, _, err := s.computeShared(live, e2, 1, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.cache.get(live); !ok {

@@ -108,6 +108,16 @@ type Options struct {
 	Order []int32
 	// OnSweep is invoked after each local sweep with the current τ.
 	OnSweep func(sweep int, tau []int32)
+	// Progress, when non-nil, receives copy-on-write τ snapshots with
+	// per-sweep convergence metrics while the run is in flight — the
+	// anytime property made observable (see NewProgress and
+	// docs/ANYTIME.md). Ignored by Peel, which has no intermediate state.
+	Progress *Progress
+	// Stop, when non-nil, is polled between sweeps; returning true ends
+	// the run early with the intermediate τ (τ ≥ κ pointwise) and
+	// Converged false. Use it for cancellation and wall-clock deadlines.
+	// Ignored by Peel.
+	Stop func() bool
 }
 
 // Result is the outcome of a decomposition.
@@ -122,6 +132,8 @@ type Result struct {
 	MaxKappa int32
 	// Converged is true when Kappa is the exact decomposition.
 	Converged bool
+	// Stopped is true when Options.Stop ended the run early.
+	Stopped bool
 	// Iterations counts local sweeps that changed some τ (0 for peeling).
 	Iterations int
 	// Sweeps counts all local sweeps including the convergence check.
@@ -155,6 +167,8 @@ func decomposeInstance(inst inucleus.Instance, dec Decomposition, opts Options) 
 			MaxSweeps:  opts.MaxSweeps,
 			Scheduling: opts.Scheduling,
 			OnSweep:    opts.OnSweep,
+			Progress:   opts.Progress,
+			Stop:       opts.Stop,
 		})
 		fillLocal(res, lr)
 	default: // AND
@@ -165,6 +179,8 @@ func decomposeInstance(inst inucleus.Instance, dec Decomposition, opts Options) 
 			Order:        opts.Order,
 			Notification: !opts.DisableNotification,
 			OnSweep:      opts.OnSweep,
+			Progress:     opts.Progress,
+			Stop:         opts.Stop,
 		})
 		fillLocal(res, lr)
 	}
@@ -174,6 +190,7 @@ func decomposeInstance(inst inucleus.Instance, dec Decomposition, opts Options) 
 func fillLocal(res *Result, lr *localhi.Result) {
 	res.Kappa = lr.Tau
 	res.Converged = lr.Converged
+	res.Stopped = lr.Stopped
 	res.Iterations = lr.Iterations
 	res.Sweeps = lr.Sweeps
 	for _, k := range lr.Tau {
