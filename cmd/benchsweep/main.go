@@ -10,7 +10,17 @@
 // speedup falls below -min-speedup (0 disables the speedup gate, e.g. on
 // noisy shared CI runners).
 //
-//	benchsweep -out BENCH_sweep.json -benchtime 1x
+// With -workers (on by default) it additionally sweeps the parallel
+// bucket-peeling benchmark in internal/peel across worker counts and
+// records per-worker ns/op plus speedup-vs-1-worker rows under
+// "parallelPeel". The benchmark itself gates on parallel == sequential κ
+// before timing. The -min-parallel-speedup gate compares the speedup at 4
+// workers and is only armed when GOMAXPROCS allows 4-way parallelism —
+// on cgroup-limited single-core machines the rows are still recorded,
+// flagged goMaxProcsLimited, and the gate is skipped rather than
+// reporting a fake pass or a spurious failure.
+//
+//	benchsweep -out BENCH_sweep.json -benchtime 1x -workers 1,2,4
 package main
 
 import (
@@ -28,11 +38,15 @@ import (
 	"time"
 )
 
-// The benchmark names the gates key on (see internal/localhi).
+// The benchmark names the gates key on (see internal/localhi and
+// internal/peel).
 const (
 	baselineBench = "BenchmarkSndTruss"
 	indexedBench  = "BenchmarkSndTrussIndexed"
 	fusedBench    = "BenchmarkSweepKernelFused"
+
+	parallelPkg   = "./internal/peel"
+	parallelBench = "BenchmarkPeelScalingTruss"
 )
 
 // benchResult is one parsed benchmark line.
@@ -69,6 +83,31 @@ type artifact struct {
 	// FusedSteadyStateAllocsPerOp is the allocs/op of the warmed fused
 	// sweep kernel; the smoke gate requires exactly 0.
 	FusedSteadyStateAllocsPerOp float64 `json:"fusedSteadyStateAllocsPerOp"`
+	// ParallelPeel holds the multi-core scaling rows of the parallel
+	// bucket-peeling engine; nil when the sweep is disabled (-workers '').
+	ParallelPeel *parallelPeel `json:"parallelPeel,omitempty"`
+}
+
+// parallelRow is one worker count of the parallel-peel scaling sweep.
+type parallelRow struct {
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"nsPerOp"`
+	// Speedup is the 1-worker ns/op divided by this row's ns/op.
+	Speedup float64 `json:"speedup"`
+}
+
+// parallelPeel is the "parallelPeel" artifact section.
+type parallelPeel struct {
+	Benchmark string        `json:"benchmark"`
+	Rows      []parallelRow `json:"rows"`
+	// SpeedupAt4 is the speedup of the workers=4 row (0 when not swept).
+	SpeedupAt4 float64 `json:"speedupAt4,omitempty"`
+	// GoMaxProcsLimited is true when GOMAXPROCS < 4 at measurement time:
+	// the host cannot physically exhibit 4-way scaling, so the rows
+	// measure barrier overhead, not parallel speedup, and the
+	// -min-parallel-speedup gate is skipped.
+	GoMaxProcsLimited bool   `json:"goMaxProcsLimited"`
+	Note              string `json:"note,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
@@ -161,6 +200,67 @@ func buildArtifact(results []benchResult, pkg string, minSpeedup float64) (*arti
 	return art, nil
 }
 
+// parseWorkers parses the -workers flag ("1,2,4") into worker counts.
+func parseWorkers(spec string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-workers: bad worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers: no worker counts in %q", spec)
+	}
+	return out, nil
+}
+
+// buildParallel assembles the parallelPeel section from the scaling
+// benchmark's sub-results and enforces the -min-parallel-speedup gate.
+// The gate compares the workers=4 speedup and is armed only when the host
+// can actually run 4 workers in parallel (gomaxprocs >= 4); otherwise the
+// rows are recorded with GoMaxProcsLimited set.
+func buildParallel(results []benchResult, workers []int, minParallel float64, gomaxprocs int) (*parallelPeel, error) {
+	sec := &parallelPeel{Benchmark: parallelBench}
+	var base float64
+	for _, w := range workers {
+		name := fmt.Sprintf("%s/workers=%d", parallelBench, w)
+		res := find(results, name)
+		if res == nil {
+			return sec, fmt.Errorf("benchmark %s missing from output", name)
+		}
+		row := parallelRow{Workers: w, NsPerOp: res.NsPerOp}
+		if w == 1 {
+			base = res.NsPerOp
+		}
+		if base > 0 && res.NsPerOp > 0 {
+			row.Speedup = base / res.NsPerOp
+		}
+		if w == 4 {
+			sec.SpeedupAt4 = row.Speedup
+		}
+		sec.Rows = append(sec.Rows, row)
+	}
+	if gomaxprocs < 4 {
+		sec.GoMaxProcsLimited = true
+		sec.Note = fmt.Sprintf("GOMAXPROCS=%d at measurement time: rows bound barrier overhead, not speedup; scaling numbers come from multi-core runs (CI)", gomaxprocs)
+	}
+	if minParallel > 0 && !sec.GoMaxProcsLimited {
+		if sec.SpeedupAt4 == 0 {
+			return sec, fmt.Errorf("-min-parallel-speedup set but workers=4 (and/or workers=1) not swept")
+		}
+		if sec.SpeedupAt4 < minParallel {
+			return sec, fmt.Errorf("parallel peel speedup at 4 workers %.2fx below the -min-parallel-speedup gate %.2fx", sec.SpeedupAt4, minParallel)
+		}
+	}
+	return sec, nil
+}
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -168,28 +268,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out        = fs.String("out", "BENCH_sweep.json", "artifact output path")
 		pkg        = fs.String("pkg", "./internal/localhi", "package holding the sweep benchmarks")
 		benchRe    = fs.String("bench", "Truss|SweepKernel", "benchmark regex passed to go test")
-		benchtime  = fs.String("benchtime", "", "go test -benchtime (empty = default)")
-		minSpeedup = fs.Float64("min-speedup", 0, "fail below this indexed-SND speedup (0 disables)")
+		benchtime   = fs.String("benchtime", "", "go test -benchtime (empty = default)")
+		minSpeedup  = fs.Float64("min-speedup", 0, "fail below this indexed-SND speedup (0 disables)")
+		workers     = fs.String("workers", "1,2,4", "worker counts for the parallel peel sweep ('' disables)")
+		minParallel = fs.Float64("min-parallel-speedup", 0, "fail below this parallel-peel speedup at 4 workers (0 disables; skipped when GOMAXPROCS < 4)")
+		// The scaling rows feed a ratio gate, so unlike the -benchtime 1x
+		// kernel smoke they need several iterations to be stable; the peel
+		// benchmark is ~10ms/op, so the go default (1s) costs seconds.
+		parallelBenchtime = fs.String("parallel-benchtime", "", "go test -benchtime for the parallel peel sweep (empty = go default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cmdArgs := []string{"test", *pkg, "-run", "^$", "-bench", *benchRe, "-benchmem"}
-	if *benchtime != "" {
-		cmdArgs = append(cmdArgs, "-benchtime", *benchtime)
-	}
-	cmd := exec.Command("go", cmdArgs...)
-	cmd.Stderr = stderr
-	raw, err := cmd.Output()
-	// Show the raw benchmark table either way; it is the human-readable
-	// half of the artifact.
-	fmt.Fprint(stdout, string(raw))
+	raw, err := runGoBench(stdout, stderr, nil, *pkg, *benchRe, *benchtime)
 	if err != nil {
-		return fmt.Errorf("go %s: %w", strings.Join(cmdArgs, " "), err)
+		return err
 	}
-
-	results, err := parseBench(strings.NewReader(string(raw)))
+	results, err := parseBench(strings.NewReader(raw))
 	if err != nil {
 		return err
 	}
@@ -197,6 +293,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("no benchmark lines matched %q in %s", *benchRe, *pkg)
 	}
 	art, gateErr := buildArtifact(results, *pkg, *minSpeedup)
+
+	if *workers != "" {
+		ws, err := parseWorkers(*workers)
+		if err != nil {
+			return err
+		}
+		env := append(os.Environ(), "NUCLEUS_PEEL_WORKERS="+*workers)
+		praw, err := runGoBench(stdout, stderr, env, parallelPkg, parallelBench+"$", *parallelBenchtime)
+		if err != nil {
+			return err
+		}
+		presults, err := parseBench(strings.NewReader(praw))
+		if err != nil {
+			return err
+		}
+		sec, perr := buildParallel(presults, ws, *minParallel, runtime.GOMAXPROCS(0))
+		art.ParallelPeel = sec
+		if gateErr == nil {
+			gateErr = perr
+		}
+	}
+
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
 		return err
@@ -206,7 +324,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "wrote %s (%d benchmarks, indexed SND speedup %.2fx, fused allocs/op %v)\n",
 		*out, len(art.Benchmarks), art.SpeedupSndIndexed, art.FusedSteadyStateAllocsPerOp)
+	if pp := art.ParallelPeel; pp != nil {
+		limited := ""
+		if pp.GoMaxProcsLimited {
+			limited = " (GOMAXPROCS-limited; gate skipped)"
+		}
+		fmt.Fprintf(stdout, "parallel peel: %d worker counts, speedup at 4 workers %.2fx%s\n",
+			len(pp.Rows), pp.SpeedupAt4, limited)
+	}
 	return gateErr
+}
+
+// runGoBench executes one `go test -bench` invocation, echoes the raw
+// table to stdout (the human-readable half of the artifact), and returns
+// it for parsing.
+func runGoBench(stdout, stderr io.Writer, env []string, pkg, benchRe, benchtime string) (string, error) {
+	cmdArgs := []string{"test", pkg, "-run", "^$", "-bench", benchRe, "-benchmem"}
+	if benchtime != "" {
+		cmdArgs = append(cmdArgs, "-benchtime", benchtime)
+	}
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Env = env
+	cmd.Stderr = stderr
+	raw, err := cmd.Output()
+	fmt.Fprint(stdout, string(raw))
+	if err != nil {
+		return "", fmt.Errorf("go %s: %w", strings.Join(cmdArgs, " "), err)
+	}
+	return string(raw), nil
 }
 
 func main() {

@@ -89,6 +89,84 @@ func TestBuildArtifactGates(t *testing.T) {
 	}
 }
 
+const sampleParallelOutput = `goos: linux
+goarch: amd64
+pkg: nucleus/internal/peel
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkPeelScalingTruss/workers=1-8         	       5	   8000000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPeelScalingTruss/workers=2-8         	       5	   4400000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPeelScalingTruss/workers=4-8         	       5	   2500000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	nucleus/internal/peel	2.031s
+`
+
+func TestParseBenchSubBenchmarks(t *testing.T) {
+	results := parseOK(t, sampleParallelOutput)
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	// The -P suffix must be stripped from sub-benchmark names too.
+	r := find(results, "BenchmarkPeelScalingTruss/workers=4")
+	if r == nil || r.NsPerOp != 2500000 {
+		t.Fatalf("workers=4 row parsed wrong: %+v", r)
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	ws, err := parseWorkers("1, 2,4")
+	if err != nil || len(ws) != 3 || ws[0] != 1 || ws[2] != 4 {
+		t.Fatalf("parseWorkers = %v, %v", ws, err)
+	}
+	for _, bad := range []string{"", "0", "1,x", "-2"} {
+		if _, err := parseWorkers(bad); err == nil {
+			t.Fatalf("parseWorkers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildParallel(t *testing.T) {
+	results := parseOK(t, sampleParallelOutput)
+	ws := []int{1, 2, 4}
+
+	sec, err := buildParallel(results, ws, 2, 8)
+	if err != nil {
+		t.Fatalf("gate failed on healthy scaling: %v", err)
+	}
+	if len(sec.Rows) != 3 || sec.Rows[1].Workers != 2 {
+		t.Fatalf("rows = %+v", sec.Rows)
+	}
+	if sec.SpeedupAt4 < 3.1 || sec.SpeedupAt4 > 3.3 {
+		t.Fatalf("speedupAt4 = %.2f, want 3.2", sec.SpeedupAt4)
+	}
+	if sec.GoMaxProcsLimited || sec.Note != "" {
+		t.Fatalf("flagged limited on an 8-proc host: %+v", sec)
+	}
+
+	// Below the floor on a capable host: gate fires.
+	if _, err := buildParallel(results, ws, 10, 8); err == nil {
+		t.Fatal("parallel speedup gate did not fire at min=10")
+	}
+
+	// Same numbers on a 1-proc host: rows recorded, gate skipped.
+	sec, err = buildParallel(results, ws, 10, 1)
+	if err != nil {
+		t.Fatalf("gate fired on a GOMAXPROCS-limited host: %v", err)
+	}
+	if !sec.GoMaxProcsLimited || sec.Note == "" {
+		t.Fatalf("limited host not flagged: %+v", sec)
+	}
+
+	// A missing worker row is an error regardless of gating.
+	if _, err := buildParallel(results, []int{1, 2, 4, 8}, 0, 8); err == nil {
+		t.Fatal("missing workers=8 row passed")
+	}
+
+	// Gate armed but workers=4 not swept: explicit error, not silent pass.
+	if _, err := buildParallel(results, []int{1, 2}, 2, 8); err == nil {
+		t.Fatal("min-parallel-speedup with no workers=4 row passed")
+	}
+}
+
 func parseOK(t *testing.T, s string) []benchResult {
 	t.Helper()
 	results, err := parseBench(strings.NewReader(s))

@@ -1,0 +1,188 @@
+package nucleus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nucleus/internal/cliques"
+	"nucleus/internal/graph"
+)
+
+// FlatRS is the generic (r,s) instance over a flat CSR incidence index:
+// the same cell structure as Hyper — every r-clique is a cell, every
+// s-clique an incidence group — but stored as two flat arrays instead of a
+// ragged [][]int32 hypergraph. It implements FlatIncidence, so the generic
+// (r,s) decompositions run the exact engines the first-class families use:
+// the fused zero-allocation sweep kernel of internal/localhi and the
+// parallel frontier peeling of internal/peel.
+//
+// Enumeration cost is unchanged from Hyper (every r- and s-clique is still
+// visited once), but the index is one contiguous allocation per array, the
+// per-cell groups are cache-dense, and the scatter pass parallelizes.
+type FlatRS struct {
+	r, s int
+	// cellVerts holds the sorted vertex set of every cell, r entries per
+	// cell.
+	cellVerts []uint32
+	// offs/members is the CSR incidence: cell c's s-clique groups are
+	// members[offs[c]:offs[c+1]], coArity co-member cell ids per group.
+	offs    []int64
+	members []int32
+	coArity int
+	deg     []int32
+}
+
+// NewFlatRS enumerates the r-cliques and s-cliques of g (r < s) and builds
+// the flat incidence index. The scatter pass — the bulk of the memory
+// traffic — is split across the given number of workers; clique
+// enumeration itself is sequential (it assigns dense cell ids in order, so
+// ids are deterministic and identical to Hyper's). Panics if r >= s or
+// r < 1, like NewHyper.
+func NewFlatRS(g *graph.Graph, r, s, threads int) *FlatRS {
+	if r < 1 || r >= s {
+		panic(fmt.Sprintf("nucleus: invalid (r,s) = (%d,%d)", r, s))
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	f := &FlatRS{r: r, s: s, coArity: binom(s, r) - 1}
+
+	// Enumerate and index the r-cliques.
+	idOf := make(map[string]int32)
+	cliques.ForEachKClique(g, r, func(memberVerts []uint32) bool {
+		idOf[cliqueKey(memberVerts)] = int32(len(f.cellVerts) / r)
+		f.cellVerts = append(f.cellVerts, memberVerts...)
+		return true
+	})
+	n := len(f.cellVerts) / r
+	f.deg = make([]int32, n)
+
+	// Pass 1: enumerate the s-cliques once, resolving each to its member
+	// cell ids (groups of groupSize = coArity+1), and count s-degrees.
+	groupSize := f.coArity + 1
+	var groups []int32
+	sub := make([]uint32, r)
+	cliques.ForEachKClique(g, s, func(memberVerts []uint32) bool {
+		forEachSubset(memberVerts, r, sub, func() {
+			id, ok := idOf[cliqueKey(sub)]
+			if !ok {
+				panic("nucleus: s-clique subset missing from r-clique index")
+			}
+			groups = append(groups, id)
+			f.deg[id]++
+		})
+		return true
+	})
+
+	// Pass 2: prefix-sum the degrees into CSR offsets and record each
+	// membership's write slot. Slot assignment follows enumeration order,
+	// so the built arrays are byte-identical at every thread count.
+	f.offs = make([]int64, n+1)
+	for c := 0; c < n; c++ {
+		f.offs[c+1] = f.offs[c] + int64(f.deg[c])*int64(f.coArity)
+	}
+	cursor := append([]int64(nil), f.offs[:n]...)
+	slots := make([]int64, len(groups))
+	for i, c := range groups {
+		slots[i] = cursor[c]
+		cursor[c] += int64(f.coArity)
+	}
+
+	// Pass 3: scatter every group's co-members into its recorded slots,
+	// in parallel over s-cliques (disjoint writes).
+	f.members = make([]int32, f.offs[n])
+	numGroups := len(groups) / groupSize
+	fill := func(lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
+			grp := groups[gi*groupSize : (gi+1)*groupSize]
+			for j := range grp {
+				w := slots[gi*groupSize+j]
+				for m, d := range grp {
+					if m == j {
+						continue
+					}
+					f.members[w] = d
+					w++
+				}
+			}
+		}
+	}
+	const grain = 512
+	if workers := min(threads, (numGroups+grain-1)/grain); workers <= 1 {
+		fill(0, numGroups)
+	} else {
+		var at int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					lo := int(atomic.AddInt64(&at, grain)) - grain
+					if lo >= numGroups {
+						return
+					}
+					fill(lo, min(lo+grain, numGroups))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return f
+}
+
+func (f *FlatRS) R() int        { return f.r }
+func (f *FlatRS) S() int        { return f.s }
+func (f *FlatRS) NumCells() int { return len(f.deg) }
+
+func (f *FlatRS) Degrees() []int32 { return append([]int32(nil), f.deg...) }
+
+func (f *FlatRS) VisitSCliques(c int32, fn func(others []int32) bool) {
+	row := f.members[f.offs[c]:f.offs[c+1]]
+	ca := f.coArity
+	for i := 0; i+ca <= len(row); i += ca {
+		if !fn(row[i : i+ca : i+ca]) {
+			return
+		}
+	}
+}
+
+func (f *FlatRS) VisitNeighbors(c int32, fn func(int32) bool) {
+	for _, d := range f.members[f.offs[c]:f.offs[c+1]] {
+		if !fn(d) {
+			return
+		}
+	}
+}
+
+func (f *FlatRS) CellVertices(c int32, buf []uint32) []uint32 {
+	return append(buf, f.cellVerts[int(c)*f.r:int(c+1)*f.r]...)
+}
+
+func (f *FlatRS) CellLabel(c int32) string {
+	return fmt.Sprintf("c%v", f.cellVerts[int(c)*f.r:int(c+1)*f.r])
+}
+
+func (f *FlatRS) FlatIncidenceArrays() ([]int64, []int32, int) {
+	return f.offs, f.members, f.coArity
+}
+
+// CellID returns the id of the r-clique with the given vertices (any
+// order), or -1 if absent. Intended for tests and cross-checks.
+func (f *FlatRS) CellID(vertices []uint32) int32 {
+	cp := append([]uint32(nil), vertices...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	for c := 0; c < f.NumCells(); c++ {
+		if equalU32(f.cellVerts[c*f.r:(c+1)*f.r], cp) {
+			return int32(c)
+		}
+	}
+	return -1
+}
+
+// IndexBytes returns the memory held by the flat incidence arrays.
+func (f *FlatRS) IndexBytes() int64 {
+	return int64(len(f.offs))*8 + int64(len(f.members))*4 + int64(len(f.cellVerts))*4
+}

@@ -1,0 +1,136 @@
+package nucleus
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"nucleus/internal/graph"
+)
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	edges := make([][2]uint32, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, [2]uint32{uint32(rng.Intn(n)), uint32(rng.Intn(n))})
+	}
+	return graph.Build(n, edges)
+}
+
+// TestFlatRSMatchesHyper asserts FlatRS is Hyper re-laid-out: same cell
+// ids (both follow r-clique enumeration order), same degrees, and the same
+// multiset of co-member groups per cell, across several (r,s) pairs.
+func TestFlatRSMatchesHyper(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pairs := [][2]int{{1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}, {1, 4}}
+	for iter := 0; iter < 6; iter++ {
+		g := randomGraph(rng, 8+rng.Intn(14), 20+rng.Intn(40))
+		for _, rs := range pairs {
+			r, s := rs[0], rs[1]
+			h := NewHyper(g, r, s)
+			f := NewFlatRS(g, r, s, 1+rng.Intn(4))
+			if f.NumCells() != h.NumCells() {
+				t.Fatalf("(%d,%d): %d cells, hyper has %d", r, s, f.NumCells(), h.NumCells())
+			}
+			hd, fd := h.Degrees(), f.Degrees()
+			for c := 0; c < f.NumCells(); c++ {
+				cc := int32(c)
+				if fd[c] != hd[c] {
+					t.Fatalf("(%d,%d): deg(%d) = %d, hyper %d", r, s, c, fd[c], hd[c])
+				}
+				if got, want := f.CellVertices(cc, nil), h.CellVertices(cc, nil); !reflect.DeepEqual(got, want) {
+					t.Fatalf("(%d,%d): cell %d vertices %v, hyper %v", r, s, c, got, want)
+				}
+				if got, want := groupSet(f, cc), groupSet(h, cc); !reflect.DeepEqual(got, want) {
+					t.Fatalf("(%d,%d): cell %d groups %v, hyper %v", r, s, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+// groupSet collects the sorted multiset of (sorted) co-member groups of a
+// cell, a layout-independent view of its s-clique incidence.
+func groupSet(inst Instance, c int32) [][]int32 {
+	var out [][]int32
+	inst.VisitSCliques(c, func(others []int32) bool {
+		grp := append([]int32(nil), others...)
+		sort.Slice(grp, func(i, j int) bool { return grp[i] < grp[j] })
+		out = append(out, grp)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// TestFlatRSBuildDeterministicAcrossThreads asserts the built arrays are
+// byte-identical at every worker count (slot assignment follows
+// enumeration order, not scheduling).
+func TestFlatRSBuildDeterministicAcrossThreads(t *testing.T) {
+	g := graph.PowerLawCluster(120, 6, 0.5, 3)
+	ref := NewFlatRS(g, 2, 3, 1)
+	for _, threads := range []int{2, 4, 8} {
+		f := NewFlatRS(g, 2, 3, threads)
+		if !reflect.DeepEqual(f.offs, ref.offs) || !reflect.DeepEqual(f.members, ref.members) {
+			t.Fatalf("threads=%d: arrays differ from sequential build", threads)
+		}
+	}
+}
+
+// TestFlatRSFlatIncidenceContract asserts the FlatIncidence arrays agree
+// with the instance's own degree and group views.
+func TestFlatRSFlatIncidenceContract(t *testing.T) {
+	g := graph.PlantedCommunities(3, 12, 0.5, 20, 9)
+	f := NewFlatRS(g, 2, 3, 2)
+	var _ FlatIncidence = f
+	offs, members, coAr := f.FlatIncidenceArrays()
+	if coAr != 2 {
+		t.Fatalf("coArity = %d, want 2 for (2,3)", coAr)
+	}
+	deg := f.Degrees()
+	for c := 0; c < f.NumCells(); c++ {
+		if got := (offs[c+1] - offs[c]) / int64(coAr); got != int64(deg[c]) {
+			t.Fatalf("cell %d: %d groups in CSR, degree says %d", c, got, deg[c])
+		}
+	}
+	if int64(len(members)) != offs[f.NumCells()] {
+		t.Fatalf("members length %d, offsets end at %d", len(members), offs[f.NumCells()])
+	}
+	if f.IndexBytes() <= 0 {
+		t.Fatal("IndexBytes not positive on a non-empty index")
+	}
+}
+
+func TestFlatRSCellID(t *testing.T) {
+	g := graph.Complete(5)
+	f := NewFlatRS(g, 2, 3, 1)
+	for c := 0; c < f.NumCells(); c++ {
+		vs := f.CellVertices(int32(c), nil)
+		if got := f.CellID([]uint32{vs[1], vs[0]}); got != int32(c) {
+			t.Fatalf("CellID(%v) = %d, want %d", vs, got, c)
+		}
+	}
+	if got := f.CellID([]uint32{99, 100}); got != -1 {
+		t.Fatalf("CellID of absent cell = %d, want -1", got)
+	}
+	if f.CellLabel(0) == "" {
+		t.Fatal("empty cell label")
+	}
+}
+
+func TestFlatRSInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFlatRS(g, 3, 2) did not panic")
+		}
+	}()
+	NewFlatRS(graph.Complete(4), 3, 2, 1)
+}

@@ -1,0 +1,227 @@
+package peel
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nucleus/internal/nucleus"
+)
+
+// RunThreads peels the instance with round-synchronous frontier
+// parallelism, the bucketed (Julienne-style) formulation of Algorithm 1:
+//
+//	level k:   extract every unprocessed cell of current minimum degree k
+//	           (the whole min bucket) as the frontier
+//	sub-round: process the frontier across a worker pool — each dying
+//	           s-clique is attributed to exactly one frontier member and
+//	           contributes one pending decrement (an atomic delta counter)
+//	           per surviving co-member cell
+//	barrier:   merge the pending decrements into the degree array, clamped
+//	           at k (degrees never drop below the level being peeled, as in
+//	           the sequential algorithm); cells that fell to k form the next
+//	           sub-round's frontier, cells still above k move buckets
+//
+// The merge is a sum of commutative atomic increments and every frontier is
+// sorted before it is recorded, so Kappa, MaxKappa and Order are all
+// bit-identical across thread counts (and to a 1-worker run). Kappa and
+// MaxKappa also match the sequential Run exactly — κ is unique — while
+// Order is a different (still valid: non-decreasing κ, each cell minimum
+// within the remainder) peeling order, since Run pops one cell at a time
+// where RunThreads peels whole levels.
+//
+// threads <= 1 runs the same engine on the calling goroutine. Small
+// frontiers are always processed inline: a barrier per sub-round only pays
+// for itself when there is enough frontier work to split.
+func RunThreads(inst nucleus.Instance, threads int) *Result {
+	if threads < 1 {
+		threads = 1
+	}
+	n := inst.NumCells()
+	res := &Result{Kappa: make([]int32, n), Order: make([]int32, 0, n)}
+	if n == 0 {
+		return res
+	}
+
+	deg := inst.Degrees()
+	maxD := int32(0)
+	for _, d := range deg {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	buckets := make([][]int32, maxD+1)
+	for c, d := range deg {
+		buckets[d] = append(buckets[d], int32(c))
+	}
+
+	p := &parPeeler{
+		inst:    inst,
+		deg:     deg,
+		delta:   make([]int32, n),
+		stamp:   make([]int32, n),
+		threads: threads,
+		touched: make([][]int32, threads),
+	}
+	for i := range p.stamp {
+		p.stamp[i] = -1
+	}
+
+	var (
+		frontier  []int32
+		next      []int32
+		remaining = n
+		cur       int32 // lowest possibly non-empty bucket
+		k         int32 // current peeling level
+		sr        int32 // sub-round stamp, strictly increasing
+	)
+	for remaining > 0 {
+		// Advance to the next level: extract the whole current-min bucket,
+		// dropping lazily-deleted entries (cells peeled already or moved to
+		// a lower bucket by a barrier merge).
+		frontier = frontier[:0]
+		for len(frontier) == 0 {
+			if int(cur) >= len(buckets) {
+				panic("peel: level scan ran past the last bucket")
+			}
+			for _, c := range buckets[cur] {
+				if p.stamp[c] < 0 && deg[c] == cur {
+					frontier = append(frontier, c)
+				}
+			}
+			buckets[cur] = nil
+			if len(frontier) == 0 {
+				cur++
+			}
+		}
+		k = cur
+
+		for len(frontier) > 0 {
+			// Sort for determinism: bucket extraction and the per-worker
+			// touched lists both yield scheduling-dependent orders.
+			sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+			for _, c := range frontier {
+				p.stamp[c] = sr
+				res.Kappa[c] = k
+			}
+			res.Order = append(res.Order, frontier...)
+			remaining -= len(frontier)
+
+			p.processFrontier(frontier, sr)
+
+			// Barrier merge: apply the pending decrements, clamped at the
+			// level (the sequential algorithm never decrements a cell below
+			// k — it is about to be peeled at k anyway), and route each
+			// touched cell to the next frontier or its new bucket.
+			next = next[:0]
+			for w := range p.touched {
+				for _, d := range p.touched[w] {
+					nd := deg[d] - p.delta[d]
+					p.delta[d] = 0
+					if nd <= k {
+						nd = k
+						next = append(next, d)
+					} else {
+						buckets[nd] = append(buckets[nd], d)
+					}
+					deg[d] = nd
+				}
+				p.touched[w] = p.touched[w][:0]
+			}
+			sr++
+			frontier, next = next, frontier
+		}
+		// Every cell at degree k is peeled and merges clamp at k, so the
+		// minimum degree among the remainder is strictly above the level.
+		cur++
+	}
+	res.MaxKappa = k
+	return res
+}
+
+// parPeeler holds the shared state of one RunThreads invocation.
+type parPeeler struct {
+	inst nucleus.Instance
+	// deg is the current degree of every unprocessed cell; written only at
+	// barrier merges, read-only during frontier processing.
+	deg []int32
+	// delta accumulates pending decrements during a sub-round (atomic) and
+	// is reset to zero for every touched cell at the merge.
+	delta []int32
+	// stamp[c] is -1 while c is unprocessed, else the sub-round in which it
+	// was peeled. All stamps of a sub-round are written before its frontier
+	// pass starts, so the pass reads them without synchronization.
+	stamp   []int32
+	threads int
+	// touched[w] is worker w's list of cells it claimed (first decrement
+	// wins) during the current sub-round.
+	touched [][]int32
+}
+
+// frontierGrain is the minimum number of frontier cells per worker before a
+// sub-round is worth parallelizing; below it the barrier and goroutine
+// overhead outweigh the clique scans.
+const frontierGrain = 128
+
+// processFrontier scans the s-cliques of every frontier cell and records
+// the decrements they imply. An s-clique dies in the sub-round of its
+// earliest-peeled member; within one sub-round it is attributed to the
+// member with the smallest cell id, which alone records one decrement for
+// each still-unprocessed co-member. The first decrement of a cell claims it
+// into the worker's touched list, so the barrier merge visits each touched
+// cell exactly once.
+func (p *parPeeler) processFrontier(frontier []int32, sr int32) {
+	span := func(lo, hi int, tl *[]int32) {
+		for i := lo; i < hi; i++ {
+			c := frontier[i]
+			p.inst.VisitSCliques(c, func(others []int32) bool {
+				for _, d := range others {
+					st := p.stamp[d]
+					if st >= 0 && st < sr {
+						return true // destroyed in an earlier sub-round
+					}
+					if st == sr && d < c {
+						return true // attributed to the smaller peer
+					}
+				}
+				for _, d := range others {
+					if p.stamp[d] < 0 {
+						if atomic.AddInt32(&p.delta[d], 1) == 1 {
+							*tl = append(*tl, d)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	workers := p.threads
+	if max := (len(frontier) + frontierGrain - 1) / frontierGrain; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		span(0, len(frontier), &p.touched[0])
+		return
+	}
+	var cursor int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&cursor, frontierGrain)) - frontierGrain
+				if lo >= len(frontier) {
+					return
+				}
+				hi := lo + frontierGrain
+				if hi > len(frontier) {
+					hi = len(frontier)
+				}
+				span(lo, hi, &p.touched[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+}

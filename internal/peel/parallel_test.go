@@ -1,0 +1,149 @@
+package peel
+
+import (
+	"math/rand"
+	"testing"
+
+	"nucleus/internal/graph"
+	"nucleus/internal/nucleus"
+)
+
+// checkParallelMatches asserts RunThreads reproduces the sequential κ at
+// every thread count and that its Order is a valid peeling order that does
+// not depend on the worker count.
+func checkParallelMatches(t *testing.T, inst nucleus.Instance) {
+	t.Helper()
+	seq := Run(inst)
+	ref := RunThreads(inst, 1)
+	if ref.MaxKappa != seq.MaxKappa {
+		t.Fatalf("RunThreads(1) MaxKappa = %d, want %d", ref.MaxKappa, seq.MaxKappa)
+	}
+	for c := range seq.Kappa {
+		if ref.Kappa[c] != seq.Kappa[c] {
+			t.Fatalf("RunThreads(1) κ(%d) = %d, want %d", c, ref.Kappa[c], seq.Kappa[c])
+		}
+	}
+	checkValidOrder(t, ref)
+	for _, threads := range []int{2, 3, 4, 8} {
+		par := RunThreads(inst, threads)
+		if par.MaxKappa != seq.MaxKappa {
+			t.Fatalf("threads=%d: MaxKappa = %d, want %d", threads, par.MaxKappa, seq.MaxKappa)
+		}
+		for c := range seq.Kappa {
+			if par.Kappa[c] != seq.Kappa[c] {
+				t.Fatalf("threads=%d: κ(%d) = %d, want %d", threads, c, par.Kappa[c], seq.Kappa[c])
+			}
+		}
+		// Order must be bit-identical across thread counts.
+		if len(par.Order) != len(ref.Order) {
+			t.Fatalf("threads=%d: order length %d, want %d", threads, len(par.Order), len(ref.Order))
+		}
+		for i := range ref.Order {
+			if par.Order[i] != ref.Order[i] {
+				t.Fatalf("threads=%d: order[%d] = %d, want %d", threads, i, par.Order[i], ref.Order[i])
+			}
+		}
+	}
+}
+
+// checkValidOrder asserts Order is a permutation of all cells with
+// non-decreasing κ.
+func checkValidOrder(t *testing.T, res *Result) {
+	t.Helper()
+	if len(res.Order) != len(res.Kappa) {
+		t.Fatalf("order lists %d cells, want %d", len(res.Order), len(res.Kappa))
+	}
+	seen := make([]bool, len(res.Kappa))
+	last := int32(0)
+	for i, c := range res.Order {
+		if seen[c] {
+			t.Fatalf("cell %d peeled twice", c)
+		}
+		seen[c] = true
+		if res.Kappa[c] < last {
+			t.Fatalf("order[%d]: κ decreased %d -> %d", i, last, res.Kappa[c])
+		}
+		last = res.Kappa[c]
+	}
+}
+
+func TestParallelCoreCompleteGraph(t *testing.T) {
+	checkParallelMatches(t, nucleus.NewCore(graph.Complete(9)))
+}
+
+func TestParallelCoreFigure2(t *testing.T) {
+	g := graph.Figure2()
+	res := RunThreads(nucleus.NewCore(g), 4)
+	want := []int32{1, 2, 2, 2, 1, 1}
+	for v := range want {
+		if res.Kappa[v] != want[v] {
+			t.Fatalf("core numbers = %v, want %v", res.Kappa, want)
+		}
+	}
+}
+
+func TestParallelEmptyAndDegenerate(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		res := RunThreads(nucleus.NewCore(graph.Build(0, nil)), threads)
+		if len(res.Kappa) != 0 || len(res.Order) != 0 || res.MaxKappa != 0 {
+			t.Fatalf("threads=%d: empty graph peeled to %+v", threads, res)
+		}
+		res = RunThreads(nucleus.NewCore(graph.Build(11, nil)), threads)
+		if len(res.Order) != 11 || res.MaxKappa != 0 {
+			t.Fatalf("threads=%d: isolated vertices: %+v", threads, res)
+		}
+		// Truss of a triangle-free graph: all cells peel at level 0.
+		res = RunThreads(nucleus.NewTruss(graph.Build(-1, [][2]uint32{{0, 1}, {1, 2}, {2, 3}})), threads)
+		if res.MaxKappa != 0 || len(res.Order) != 3 {
+			t.Fatalf("threads=%d: path truss: %+v", threads, res)
+		}
+	}
+}
+
+func TestParallelZeroThreadsClamped(t *testing.T) {
+	g := graph.CliqueChain(3, 5)
+	res := RunThreads(nucleus.NewCore(g), 0)
+	for v, k := range res.Kappa {
+		if k != 4 {
+			t.Fatalf("core(%d) = %d, want 4", v, k)
+		}
+	}
+}
+
+func TestParallelCoreMatchesSequentialQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 30; iter++ {
+		n := 2 + rng.Intn(60)
+		m := rng.Intn(3 * n)
+		edges := make([][2]uint32, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, [2]uint32{uint32(rng.Intn(n)), uint32(rng.Intn(n))})
+		}
+		g := graph.Build(n, edges)
+		checkParallelMatches(t, nucleus.NewCore(g))
+	}
+}
+
+func TestParallelTrussAndN34Quick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 8; iter++ {
+		n := 10 + rng.Intn(30)
+		m := n + rng.Intn(4*n)
+		edges := make([][2]uint32, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, [2]uint32{uint32(rng.Intn(n)), uint32(rng.Intn(n))})
+		}
+		g := graph.Build(n, edges)
+		checkParallelMatches(t, nucleus.NewTruss(g))
+		checkParallelMatches(t, nucleus.NewIndexedTruss(g, 2))
+		checkParallelMatches(t, nucleus.NewN34(g))
+	}
+}
+
+// TestParallelLargeFrontier exercises the multi-worker path: a graph whose
+// min-degree bucket holds thousands of cells so sub-rounds actually split
+// across workers (the inline small-frontier shortcut is bypassed).
+func TestParallelLargeFrontier(t *testing.T) {
+	g := graph.GnM(4000, 16000, 5)
+	checkParallelMatches(t, nucleus.NewCore(g))
+}

@@ -377,7 +377,10 @@ type jobView struct {
 	Decomposition string    `json:"decomposition"`
 	Algorithm     string    `json:"algorithm"`
 	MaxSweeps     int       `json:"maxSweeps"`
-	State         JobState  `json:"state"`
+	// Threads is the effective intra-job worker count: the request value,
+	// defaulted to the server's -job-threads and clamped to the host.
+	Threads int      `json:"threads"`
+	State   JobState `json:"state"`
 	Cached        bool      `json:"cached"`
 	Error         string    `json:"error,omitempty"`
 	SubmittedAt   time.Time `json:"submittedAt"`
@@ -402,6 +405,7 @@ func viewJob(j *job) jobView {
 		Decomposition: j.req.Decomposition,
 		Algorithm:     j.req.Algorithm,
 		MaxSweeps:     j.req.MaxSweeps,
+		Threads:       j.threads,
 		State:         j.state,
 		Cached:        j.cached,
 		Error:         j.errMsg,

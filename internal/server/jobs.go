@@ -35,8 +35,9 @@ type jobRequest struct {
 	Decomposition string `json:"decomposition"`
 	// Algorithm is and (default), snd or peel.
 	Algorithm string `json:"algorithm"`
-	// Threads is the in-job worker count for the local algorithms;
-	// 0 uses the server default.
+	// Threads is the in-job worker count, honored by every algorithm
+	// (local sweeps and parallel peeling alike); 0 uses the server
+	// default. The effective value is surfaced in the job status.
 	Threads int `json:"threads"`
 	// MaxSweeps bounds local iterations; 0 runs to convergence.
 	MaxSweeps int `json:"maxSweeps"`
@@ -48,6 +49,12 @@ type job struct {
 	req   jobRequest
 	entry *graphEntry
 	key   cacheKey
+	// threads is the effective intra-job worker count, resolved at submit
+	// time (request value, else the server default, clamped to the host)
+	// and surfaced in the job status. All engines honor it — the local
+	// algorithms split sweeps across workers and peel runs the parallel
+	// bucket engine.
+	threads int
 
 	// cancel is the cooperative cancellation flag: DELETE /jobs/{id} sets
 	// it, and the running decomposition polls it between sweeps (it is the
@@ -144,11 +151,16 @@ func (m *jobManager) submit(req jobRequest) (*job, error) {
 		return nil, fmt.Errorf("%w %q", errUnknownGraph, req.Graph)
 	}
 
+	threads := req.Threads
+	if threads <= 0 {
+		threads = m.s.cfg.JobThreads
+	}
 	j := &job{
 		id:        fmt.Sprintf("j%d", m.nextID.Add(1)),
 		req:       req,
 		entry:     entry,
 		key:       cacheKey{entry.name, entry.version, dec, alg, req.MaxSweeps},
+		threads:   threads,
 		state:     JobQueued,
 		submitted: time.Now(),
 	}
@@ -275,11 +287,7 @@ func (m *jobManager) run(j *job) {
 	j.started = time.Now()
 	j.mu.Unlock()
 
-	threads := j.req.Threads
-	if threads <= 0 {
-		threads = m.s.cfg.JobThreads
-	}
-	res, shared, err := m.s.computeShared(j.key, j.entry, threads, j.req.MaxSweeps,
+	res, shared, err := m.s.computeShared(j.key, j.entry, j.threads, j.req.MaxSweeps,
 		j.cancel.Load, // the job's cooperative stop signal
 		func(f *flight) {
 			// Expose the (possibly shared) computation's live progress to
@@ -448,7 +456,7 @@ func (s *Server) runDecomposition(entry *graphEntry, dec, alg string, threads, m
 	inst := s.instanceOf(entry, dec)
 	switch alg {
 	case "peel":
-		pr := peel.Run(inst)
+		pr := peel.RunThreads(inst, threads)
 		return &decompResult{Kappa: pr.Kappa, MaxKappa: pr.MaxKappa, Converged: true, Inst: inst}, nil
 	case "snd":
 		lr := localhi.Snd(inst, localhi.Options{Threads: threads, MaxSweeps: maxSweeps, Progress: prog, Stop: stop})

@@ -14,8 +14,8 @@
 // Decompositions are selected by (r,s): KCore is (1,2) over vertices and
 // degrees, KTruss is (2,3) over edges and triangle counts, Nucleus34 is
 // (3,4) over triangles and 4-clique counts — the paper's recommended sweet
-// spot for dense subgraph quality. DecomposeRS supports any r < s via an
-// explicit hypergraph (practical for small graphs).
+// spot for dense subgraph quality. DecomposeRS supports any r < s via a
+// flat clique-incidence index (practical for small graphs).
 package nucleus
 
 import (
@@ -93,8 +93,11 @@ const (
 type Options struct {
 	// Algorithm selects AND (default), SND or Peel.
 	Algorithm Algorithm
-	// Threads is the worker count for the local algorithms; <=1 runs
-	// sequentially. Peeling ignores it (it is inherently sequential).
+	// Threads is the worker count; <=1 runs sequentially. The local
+	// algorithms split sweeps across workers; Peel runs the parallel
+	// bucket engine, peeling each minimum-degree frontier across workers
+	// with a deterministic barrier merge (results are bit-identical at
+	// every thread count).
 	Threads int
 	// MaxSweeps bounds local iterations; 0 runs to convergence. A bounded
 	// run returns an approximation: τ ≥ κ pointwise.
@@ -146,18 +149,39 @@ func Decompose(g *Graph, dec Decomposition, opts Options) *Result {
 	return decomposeInstance(instanceFor(g, dec), dec, opts)
 }
 
-// DecomposeRS computes the generic (r,s) decomposition (r < s) by
-// materializing the r-clique/s-clique hypergraph. Exact but intended for
-// small graphs; for (1,2), (2,3), (3,4) prefer Decompose.
+// DecomposeRS computes the generic (r,s) decomposition (r < s). The
+// first-class pairs (1,2), (2,3) and (3,4) route to the same instances
+// Decompose uses — cells are numbered by the family's canonical ids
+// (vertices, edge ids, triangle ids) and the flat s-clique incidence index
+// is built in parallel over Options.Threads. Any other pair materializes a
+// flat CSR incidence over the enumerated r-/s-cliques (nucleus.FlatRS), so
+// generic (r,s) runs the exact same engines: the fused sweep kernels of
+// the local algorithms and the parallel peeling frontier. Enumeration
+// keeps the generic path practical for small-to-medium graphs only.
 func DecomposeRS(g *Graph, r, s int, opts Options) *Result {
-	return decomposeInstance(inucleus.NewHyper(g, r, s), Decomposition(-1), opts)
+	threads := opts.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	var inst inucleus.Instance
+	switch {
+	case r == 1 && s == 2:
+		inst = inucleus.NewCore(g)
+	case r == 2 && s == 3:
+		inst, _ = inucleus.Build(g, inucleus.FamilyTruss, -1, threads)
+	case r == 3 && s == 4:
+		inst, _ = inucleus.Build(g, inucleus.FamilyN34, -1, threads)
+	default:
+		inst = inucleus.NewFlatRS(g, r, s, threads)
+	}
+	return decomposeInstance(inst, Decomposition(-1), opts)
 }
 
 func decomposeInstance(inst inucleus.Instance, dec Decomposition, opts Options) *Result {
 	res := &Result{Decomposition: dec, inst: inst}
 	switch opts.Algorithm {
 	case Peel:
-		pr := peel.Run(inst)
+		pr := peel.RunThreads(inst, opts.Threads)
 		res.Kappa = pr.Kappa
 		res.MaxKappa = pr.MaxKappa
 		res.Converged = true
