@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField catches mixed atomic/plain access to the same struct
+// field — the bug class of the parallel peel engine, where per-bucket
+// counters are atomically incremented by workers and read plainly at
+// barriers. A field whose address is ever passed to a sync/atomic
+// function must be accessed atomically everywhere, or each plain access
+// must carry a suppression explaining the happens-before edge (e.g. "all
+// workers joined at wg.Wait before this read").
+//
+// Typed atomics (atomic.Int64 and friends) encapsulate their word and
+// are invisible to this analyzer by construction — migrating a flagged
+// field to one is the preferred fix.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a struct field accessed via sync/atomic must be accessed atomically everywhere",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: collect fields whose address reaches a sync/atomic call,
+	// and remember those argument expressions so they are not re-flagged
+	// as plain accesses in pass 2.
+	atomicFields := map[*types.Var]bool{}
+	insideAtomic := map[ast.Expr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fld, root := addressedField(pass.Info, arg); fld != nil {
+					atomicFields[fld] = true
+					insideAtomic[root] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag every plain selector access to a tracked field.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if insideAtomic[sel] {
+				return false // the atomic call's own argument
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			fld, ok := s.Obj().(*types.Var)
+			if !ok || !atomicFields[fld] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere; this plain access races unless a happens-before edge is documented",
+				fld.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isSyncAtomicCall reports whether the call resolves to a sync/atomic
+// package function.
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Only package functions take addresses; typed-atomic methods manage
+	// their own word.
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addressedField resolves &x.f or &x.f[i] to the struct field object,
+// also returning the selector expression so the caller can exempt it.
+func addressedField(info *types.Info, arg ast.Expr) (*types.Var, ast.Expr) {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return nil, nil
+	}
+	inner := ast.Unparen(un.X)
+	// &x.f[i]: the element is reached through the field; mixing plain
+	// element reads with atomic ones is the same race.
+	if ix, ok := inner.(*ast.IndexExpr); ok {
+		inner = ast.Unparen(ix.X)
+	}
+	sel, ok := inner.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	fld, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	return fld, sel
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxStop enforces the anytime-serving contract from PR 5: a
+// long-running loop in code that has a cancellation signal in scope —
+// a context.Context parameter, an Options value carrying a `Stop func()
+// bool` field, or a plain `stop func() bool` parameter — must consult
+// that signal at least once per iteration. A loop that never polls
+// turns a cancel request into a wait-for-completion, which is exactly
+// the failure mode budgeted queries exist to avoid.
+//
+// Scope: only unbounded loops (`for {` / `for cond {`) that perform
+// calls are candidates; three-clause counting loops and range loops are
+// bounded by construction and exempt. Functions with no signal in scope
+// (e.g. the peel engine's worker bodies, which synchronize by barrier)
+// are exempt — this analyzer enforces use of a signal the author chose
+// to accept, it does not demand one exist.
+var CtxStop = &Analyzer{
+	Name: "ctxstop",
+	Doc:  "long-running loops must poll Options.Stop or a context each iteration",
+	AppliesTo: func(path string) bool {
+		for _, p := range []string{
+			"nucleus/internal/localhi", "nucleus/internal/peel",
+			"nucleus/internal/server", "nucleus/internal/dynamic",
+		} {
+			if strings.HasPrefix(path, p) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runCtxStop,
+}
+
+func runCtxStop(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			signals := stopSignals(pass, fd.Type)
+			checkCtxStopBody(pass, fd.Body, signals)
+		}
+	}
+	return nil
+}
+
+// checkCtxStopBody walks a body, collecting additional signals from
+// enclosed function literals' parameters as it descends.
+func checkCtxStopBody(pass *Pass, body ast.Node, signals map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			merged := copySignals(signals)
+			for obj := range stopSignals(pass, n.Type) {
+				merged[obj] = true
+			}
+			checkCtxStopBody(pass, n.Body, merged)
+			return false
+		case *ast.ForStmt:
+			if n.Init != nil || n.Post != nil {
+				return true // counting loop: bounded by construction
+			}
+			if len(signals) == 0 {
+				return true // no signal in scope to poll
+			}
+			if !loopDoesWork(n.Body) {
+				return true
+			}
+			if !referencesSignal(pass, n, signals) {
+				pass.Reportf(n.Pos(), "unbounded loop never polls a stop signal (context or Stop func in scope); check it each iteration")
+			}
+		}
+		return true
+	})
+}
+
+// stopSignals collects the cancellation carriers among a function type's
+// parameters: context.Context values, (pointers to) structs with a
+// `Stop func() bool` field, and bare `func() bool` parameters named
+// like a stop check.
+func stopSignals(pass *Pass, ft *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			t := obj.Type()
+			switch {
+			case isContextType(t):
+				out[obj] = true
+			case hasStopField(t):
+				out[obj] = true
+			case isStopFunc(t) && strings.Contains(strings.ToLower(name.Name), "stop"):
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasStopField reports whether t (or *t) is a struct with a field
+// `Stop func() bool` — the Options pattern.
+func hasStopField(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Stop" && isStopFunc(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isStopFunc(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// loopDoesWork reports whether the loop body contains at least one call
+// — a spin over pure arithmetic terminates on its own condition and is
+// not a cancellation hazard worth flagging.
+func loopDoesWork(body *ast.BlockStmt) bool {
+	works := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			works = true
+		}
+		return !works
+	})
+	return works
+}
+
+// referencesSignal reports whether the loop (condition or body)
+// mentions any signal object — a bare use (`stop()`, passing ctx on),
+// `.Stop` selection, or `ctx.Done()`/`ctx.Err()` — all count as the
+// iteration consulting cancellation.
+func referencesSignal(pass *Pass, loop *ast.ForStmt, signals map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && signals[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func copySignals(m map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+// Package lint is nucleuslint's analysis framework: a small, stdlib-only
+// reimplementation of the golang.org/x/tools/go/analysis surface
+// (Analyzer / Pass / Diagnostic) plus a package loader that type-checks
+// the whole dependency universe from source. The toolchain's go/types and
+// go/parser do all the heavy lifting; no third-party module is required,
+// so the linter builds and runs in the same sandbox as the code it
+// checks.
+//
+// The analyzers themselves (noalloc, lockdiscipline, syncerr,
+// atomicfield, ctxstop) encode invariants this codebase's correctness
+// arguments rest on — documented in docs/DEVELOPMENT.md — and are wired
+// into CI via cmd/nucleuslint. Findings are suppressed per line with
+//
+//	//nucleus:lint-ignore <analyzer> <justification>
+//
+// where the justification is mandatory: an unjustified suppression is
+// itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check. Run inspects a single package and reports
+// findings through the Pass.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //nucleus:lint-ignore comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// AppliesTo, when non-nil, restricts the analyzer to packages whose
+	// import path it accepts. The linttest harness bypasses it so testdata
+	// packages exercise every analyzer regardless of path.
+	AppliesTo func(pkgPath string) bool
+	// Run performs the analysis and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's syntax trees, including in-package _test.go
+	// files (external test packages are separate passes).
+	Files []*ast.File
+	// Path is the import path under analysis ("nucleus/internal/store";
+	// external test packages carry a "_test" suffix).
+	Path string
+	Pkg  *types.Package
+	Info *types.Info
+	// Prog is the enclosing load: shared annotation indexes and module
+	// metadata.
+	Prog *Program
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Program is one loaded set of packages plus the cross-package annotation
+// indexes analyzers consult.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	Pkgs       []*Package
+	// NoallocFuncs marks functions annotated //nucleus:noalloc, keyed by
+	// FuncKey. Built across every loaded package so a noalloc function may
+	// call an annotated function in another package.
+	NoallocFuncs map[string]bool
+}
+
+// Package is one package ready for analysis.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// FuncKey names a function for cross-package annotation lookups:
+// "pkgpath.Func" for package-level functions, "pkgpath.Recv.Method" for
+// methods (pointer receivers are stripped).
+func FuncKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// funcDeclKey is FuncKey for a declaration in pkgPath (syntax-side
+// counterpart, used while building the annotation index).
+func funcDeclKey(pkgPath string, fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		switch tt := t.(type) {
+		case *ast.Ident:
+			return pkgPath + "." + tt.Name + "." + fd.Name.Name
+		case *ast.IndexExpr: // generic receiver T[P]
+			if id, ok := tt.X.(*ast.Ident); ok {
+				return pkgPath + "." + id.Name + "." + fd.Name.Name
+			}
+		}
+	}
+	return pkgPath + "." + fd.Name.Name
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

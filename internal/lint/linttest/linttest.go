@@ -1,0 +1,109 @@
+// Package linttest runs an analyzer over a testdata directory and
+// compares its diagnostics against `// want` expectations embedded in
+// the sources — the stdlib-only counterpart of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectation syntax, trailing the line a diagnostic is expected on:
+//
+//	x := make([]int, n) // want `make with non-constant size`
+//
+// Each backquoted group is a regexp matched against one diagnostic's
+// message on that line; a line may carry several groups when several
+// diagnostics land on it. Lines without a want comment must produce no
+// diagnostics — so testdata encodes the allowed near-misses simply by
+// containing them unannotated.
+package linttest
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"nucleus/internal/lint"
+)
+
+// Run loads dir as an ad-hoc package, applies the analyzer (with
+// AppliesTo bypassed — testdata package paths never match production
+// scopes), and diffs diagnostics against the want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	prog, err := lint.LoadAdHoc(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.Run(prog, []*lint.Analyzer{a}, lint.RunOptions{ForceApply: true})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, prog)
+	for _, d := range diags {
+		if !claimWant(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.claimed {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	claimed bool
+}
+
+// wantPattern captures each backquoted group of a want comment.
+var wantPattern = regexp.MustCompile("`([^`]*)`")
+
+func collectWants(t *testing.T, prog *lint.Program) []*want {
+	t.Helper()
+	var out []*want
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					out = append(out, parseWant(t, prog, c)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func parseWant(t *testing.T, prog *lint.Program, c *ast.Comment) []*want {
+	t.Helper()
+	rest, ok := strings.CutPrefix(c.Text, "// want ")
+	if !ok {
+		return nil
+	}
+	pos := prog.Fset.Position(c.Pos())
+	var out []*want
+	for _, m := range wantPattern.FindAllStringSubmatch(rest, -1) {
+		re, err := regexp.Compile(m[1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s:%d: want comment carries no backquoted pattern", pos.Filename, pos.Line)
+	}
+	return out
+}
+
+// claimWant marks the first unclaimed matching expectation for a
+// diagnostic, reporting whether one existed.
+func claimWant(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.claimed && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SyncErr enforces the durability contract at the call sites that can
+// silently void it: a discarded error from Sync, Close, or Flush in the
+// store and serving layers means a write may not have reached disk and
+// nobody will ever know. Every such result must be checked, propagated,
+// or explicitly discarded with //nucleus:ignore-err <reason>.
+//
+// Methods whose signature returns no error (httptest.Server.Close,
+// http.Flusher.Flush) are naturally exempt; so is the conventional
+// `defer resp.Body.Close()` on HTTP response bodies, where the
+// transport owns durability.
+var SyncErr = &Analyzer{
+	Name: "syncerr",
+	Doc:  "Sync/Close/Flush errors in store and server code must be checked or explicitly discarded",
+	AppliesTo: func(path string) bool {
+		return strings.HasPrefix(path, "nucleus/internal/store") ||
+			strings.HasPrefix(path, "nucleus/internal/server") ||
+			strings.HasPrefix(path, "nucleus/cmd/")
+	},
+	Run: runSyncErr,
+}
+
+var syncErrMethods = map[string]bool{
+	"Sync": true, "Close": true, "Flush": true,
+}
+
+func runSyncErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ignores := ignoreErrLines(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.AssignStmt:
+				// `_ = f.Close()` and `_, _ = ...` discard explicitly but
+				// invisibly; require the annotation for those too.
+				if !allBlank(n.Lhs) || len(n.Rhs) != 1 {
+					return true
+				}
+				call, _ = n.Rhs[0].(*ast.CallExpr)
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			checkSyncErrCall(pass, call, ignores)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSyncErrCall(pass *Pass, call *ast.CallExpr, ignores map[int]*directive) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !syncErrMethods[sel.Sel.Name] {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !returnsError(sig) {
+		return
+	}
+	// `defer resp.Body.Close()`: the net/http convention; the body is a
+	// read stream, its Close error carries no durability signal.
+	if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && inner.Sel.Name == "Body" {
+		return
+	}
+	pos := pass.Fset.Position(call.Pos())
+	if d, ok := ignores[pos.Line]; ok {
+		if d.args == "" {
+			pass.diags = append(pass.diags, Diagnostic{
+				Analyzer: pass.Analyzer.Name,
+				Pos:      pass.Fset.Position(d.pos),
+				Message:  "ignore-err has no reason; write //nucleus:ignore-err <why the error is safe to drop>",
+			})
+		}
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s.%s is discarded; check it or annotate //nucleus:ignore-err <reason>",
+		exprString(sel.X), sel.Sel.Name)
+}
+
+// ignoreErrLines indexes the file's //nucleus:ignore-err directives by
+// the source line they guard (their own line for trailing comments, the
+// next line for own-line comments).
+func ignoreErrLines(fset *token.FileSet, f *ast.File) map[int]*directive {
+	out := map[int]*directive{}
+	for _, d := range fileDirectives(fset, f) {
+		if d.name != dirIgnoreErr {
+			continue
+		}
+		line := fset.Position(d.pos).Line
+		if d.ownLine {
+			line++
+		}
+		dd := d
+		out[line] = &dd
+	}
+	return out
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+// exprString renders a short receiver description for messages.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "receiver"
+	}
+}

@@ -1,0 +1,56 @@
+// Testdata for the atomicfield analyzer: fields mixed between atomic
+// and plain access (flagged), consistently-plain and consistently-atomic
+// fields (allowed), and a justified barrier read.
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	n    int64 // atomically incremented, plainly read: the race
+	safe int64 // never touched atomically: plain access is fine
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want `field n is accessed with sync/atomic elsewhere`
+}
+
+// atomicRead is the near-miss: atomic access to a tracked field.
+func (c *counter) atomicRead() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// plainOnly is the near-miss: safe is never atomic, so plain access
+// stays silent.
+func (c *counter) plainOnly() int64 {
+	c.safe++
+	return c.safe
+}
+
+// peeler mirrors the parallel peel engine's shape: a slice field whose
+// elements workers bump atomically and a barrier reads plainly.
+type peeler struct {
+	wg    sync.WaitGroup
+	delta []int32
+}
+
+func (p *peeler) work(i int) {
+	atomic.AddInt32(&p.delta[i], 1)
+}
+
+func (p *peeler) barrierUnsound(i int) int32 {
+	return p.delta[i] // want `field delta is accessed with sync/atomic elsewhere`
+}
+
+// barrierJustified documents the happens-before edge that makes the
+// plain read sound.
+func (p *peeler) barrierJustified(i int) int32 {
+	p.wg.Wait()
+	return p.delta[i] //nucleus:lint-ignore atomicfield all workers joined at wg.Wait above; the plain read is ordered after every atomic add
+}

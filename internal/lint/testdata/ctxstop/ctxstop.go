@@ -1,0 +1,84 @@
+// Testdata for the ctxstop analyzer: unbounded loops that ignore an
+// in-scope cancellation signal (flagged) next to polling loops, bounded
+// loops, and signal-free functions (allowed).
+package ctxstop
+
+import "context"
+
+// options mirrors the anytime-serving Options shape.
+type options struct {
+	Threads int
+	Stop    func() bool
+}
+
+func work() {}
+
+// ignoresStop accepts a Stop carrier and spins without consulting it.
+func ignoresStop(opts options) {
+	for { // want `unbounded loop never polls a stop signal`
+		work()
+	}
+}
+
+// pollsStop is the near-miss: the loop checks Stop each iteration.
+func pollsStop(opts options) {
+	for {
+		if opts.Stop != nil && opts.Stop() {
+			return
+		}
+		work()
+	}
+}
+
+// ignoresCtx has a context in scope and never looks at it.
+func ignoresCtx(ctx context.Context) {
+	for { // want `unbounded loop never polls a stop signal`
+		work()
+	}
+}
+
+// pollsCtx consults ctx.Err each iteration.
+func pollsCtx(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+
+// counted is bounded by construction: three-clause loops are exempt.
+func counted(ctx context.Context) {
+	for i := 0; i < 1000; i++ {
+		work()
+	}
+}
+
+// noSignal has nothing to poll: barrier-synchronized workers are the
+// legitimate shape here, and the analyzer does not demand a signal
+// exist.
+func noSignal(done *bool) {
+	for {
+		work()
+		if *done {
+			return
+		}
+	}
+}
+
+// stopParam: a bare stop func() bool parameter counts as a signal.
+func stopParam(stop func() bool) {
+	for { // want `unbounded loop never polls a stop signal`
+		work()
+	}
+}
+
+// stopParamPolled is its near-miss.
+func stopParamPolled(stop func() bool) {
+	for {
+		if stop() {
+			return
+		}
+		work()
+	}
+}

@@ -1,0 +1,106 @@
+// Testdata for the lockdiscipline analyzer: blocking work under a
+// registry mutex (flagged), the unlock-first idiom (allowed), and the
+// per-name mutation lock with its durable-pipeline allowance.
+package lockdiscipline
+
+import "sync"
+
+// store mirrors the durable store interface shape; its method names are
+// what the analyzer classifies.
+type store interface {
+	BeginBatch() error
+	CommitBatch() error
+}
+
+type reg struct {
+	mu    sync.Mutex
+	locks map[string]*sync.Mutex
+	done  chan struct{}
+}
+
+func (r *reg) mutationLock(name string) *sync.Mutex {
+	return r.locks[name]
+}
+
+// WarmCoreNumbers stands in for a decomposition entry point.
+func WarmCoreNumbers() {}
+
+// badStore holds the registry mutex across a store call.
+func (r *reg) badStore(s store) {
+	r.mu.Lock()
+	_ = s.BeginBatch() // want `store/WAL call while holding mutex`
+	r.mu.Unlock()
+}
+
+// badChan blocks on a channel under the registry mutex — the deadlock
+// shape the serving layer once shipped.
+func (r *reg) badChan() {
+	r.mu.Lock()
+	<-r.done // want `channel operation while holding mutex`
+	r.mu.Unlock()
+}
+
+// goodUnlockFirst is the near-miss: the mutex guards only the map read,
+// and the blocking receive happens after Unlock.
+func (r *reg) goodUnlockFirst() *sync.Mutex {
+	r.mu.Lock()
+	v := r.locks["x"]
+	r.mu.Unlock()
+	<-r.done
+	return v
+}
+
+// goodSelectDefault: a select with a default clause never blocks, so it
+// is fine under the mutex.
+func (r *reg) goodSelectDefault(q chan int) {
+	r.mu.Lock()
+	select {
+	case q <- 1:
+	default:
+	}
+	r.mu.Unlock()
+}
+
+// mutateAllowed holds the per-name mutation lock across store work —
+// serializing the durable pipeline is that lock's purpose.
+func (r *reg) mutateAllowed(s store, name string) {
+	lock := r.mutationLock(name)
+	lock.Lock()
+	_ = s.BeginBatch()
+	_ = s.CommitBatch()
+	lock.Unlock()
+}
+
+// mutateBad runs decomposition-sized work under the mutation lock.
+func (r *reg) mutateBad(name string) {
+	lock := r.mutationLock(name)
+	lock.Lock()
+	WarmCoreNumbers() // want `decomposition-sized work while holding per-name mutation lock`
+	lock.Unlock()
+}
+
+// unlockerClosure: calling a closure that unlocks ends the held region,
+// so the receive after unlock() is allowed.
+func (r *reg) unlockerClosure() {
+	r.mu.Lock()
+	locked := true
+	unlock := func() {
+		if locked {
+			locked = false
+			r.mu.Unlock()
+		}
+	}
+	unlock()
+	<-r.done
+}
+
+// transitive: blocking through a same-package helper is still caught.
+func (r *reg) transitive(s store) {
+	r.mu.Lock()
+	persist(s) // want `store/WAL call while holding mutex`
+	r.mu.Unlock()
+}
+
+func persist(s store) {
+	_ = s.BeginBatch()
+}

@@ -1,0 +1,67 @@
+// Testdata for the noalloc analyzer: annotated kernels with deliberate
+// allocations (flagged) next to unannotated twins and clean kernels
+// (allowed near-misses).
+package noalloc
+
+import "fmt"
+
+// hot is annotated: every allocating construct inside it is a finding.
+//
+//nucleus:noalloc
+func hot(vals []int32, n int) int32 {
+	tmp := make([]int32, n) // want `make with non-constant size allocates`
+	vals = append(vals, 1)  // want `append may grow its backing array`
+	fmt.Println()           // want `fmt.Println allocates`
+	_ = helper(n)           // want `not annotated //nucleus:noalloc`
+	var acc int32
+	for _, v := range tmp {
+		acc += v
+	}
+	return acc + vals[0]
+}
+
+// cold is the unannotated near-miss: identical constructs, no findings.
+func cold(n int) []int32 {
+	out := make([]int32, n)
+	out = append(out, 1)
+	return out
+}
+
+func helper(n int) int { return n + 1 }
+
+// step carries the annotation, so calling it from another annotated
+// kernel is allowed.
+//
+//nucleus:noalloc
+func step(x int32) int32 { return x * 2 }
+
+// clean is an annotated kernel with nothing to flag: index arithmetic,
+// an annotated callee, and a constant-size stack array.
+//
+//nucleus:noalloc
+func clean(buf []int32) int32 {
+	var scratch [8]int32
+	for i := range buf {
+		scratch[i&7] += step(buf[i])
+	}
+	return scratch[0]
+}
+
+// grow is the amortized-zero idiom: the one allocation is a grow-once
+// scratch resize, suppressed with a written justification.
+//
+//nucleus:noalloc
+func grow(scratch *[]int32, n int) {
+	if len(*scratch) < n {
+		*scratch = make([]int32, n) //nucleus:lint-ignore noalloc grow-once scratch resize; amortized zero allocations across sweeps
+	}
+}
+
+// box passes a concrete value to an interface parameter.
+//
+//nucleus:noalloc
+func box(x int) {
+	sink(x) // want `passing int to interface parameter boxes` `call to noalloc.sink, which is not annotated`
+}
+
+func sink(v any) { _ = v }

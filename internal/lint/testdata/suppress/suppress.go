@@ -1,0 +1,23 @@
+// Testdata for the suppression mechanism itself: a justified ignore is
+// consumed silently, a stale ignore and a justification-free ignore are
+// both findings (checked by TestSuppressionProblems, not want comments —
+// the diagnostics land on the directive's own line).
+package suppress
+
+import "os"
+
+// justified suppresses a real finding with a written reason: no output.
+func justified(f *os.File) {
+	f.Close() //nucleus:lint-ignore syncerr scratch file on a tmpfs; close failure cannot lose durable data
+}
+
+// stale guards a line that produces no finding.
+func stale(f *os.File) error {
+	//nucleus:lint-ignore syncerr the error is propagated, nothing fires here
+	return f.Close()
+}
+
+// unjustified suppresses a real finding but gives no reason.
+func unjustified(f *os.File) {
+	f.Close() //nucleus:lint-ignore syncerr
+}

@@ -1,0 +1,45 @@
+// Testdata for the syncerr analyzer: discarded Sync/Close/Flush errors
+// (flagged), checked/propagated/annotated ones and void signatures
+// (allowed near-misses).
+package syncerr
+
+import "os"
+
+func discarded(f *os.File) {
+	f.Sync() // want `error from f.Sync is discarded`
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want `error from f.Close is discarded`
+}
+
+func blankAssigned(f *os.File) {
+	_ = f.Close() // want `error from f.Close is discarded`
+}
+
+// propagated is the near-miss: the error leaves the function.
+func propagated(f *os.File) error {
+	return f.Close()
+}
+
+// checked is the near-miss: the error is inspected in place.
+func checked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// annotated discards explicitly, with a written reason.
+func annotated(f *os.File) {
+	f.Close() //nucleus:ignore-err read-only handle; close error carries no durability signal
+}
+
+type notifier struct{}
+
+// Flush returns nothing, so there is no error to lose.
+func (notifier) Flush() {}
+
+func voidFlush(n notifier) {
+	n.Flush()
+}
