@@ -119,7 +119,11 @@ func run(args []string) error {
 		if st, err = root.OpenFSStore(*dataDir); err != nil {
 			return err
 		}
-		defer st.Close()
+		defer func() {
+			if err := st.Close(); err != nil {
+				log.Printf("closing store: %v", err)
+			}
+		}()
 	}
 
 	srv := root.NewServer(root.ServerConfig{

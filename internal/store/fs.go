@@ -86,11 +86,11 @@ func (s *FS) SaveSnapshot(name string, snap *Snapshot) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if err := EncodeSnapshot(tmp, snap); err != nil {
-		tmp.Close()
+		tmp.Close() //nucleus:ignore-err the encode already failed; its error is what the caller must see
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		tmp.Close() //nucleus:ignore-err the sync already failed; its error is what the caller must see
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -155,11 +155,15 @@ func (s *FS) appendWAL(name string, frame []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	defer f.Close()
 	if _, err := f.Write(frame); err != nil {
+		f.Close() //nucleus:ignore-err the write already failed; its error is what the caller must see
 		return 0, err
 	}
 	if err := f.Sync(); err != nil {
+		f.Close() //nucleus:ignore-err the sync already failed; its error is what the caller must see
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
 		return 0, err
 	}
 	g.walSize.Add(int64(len(frame)))
@@ -266,8 +270,11 @@ func syncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
-	return d.Sync()
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // encodeName maps an arbitrary graph name to a filesystem-safe directory

@@ -201,7 +201,9 @@ func TestFSWALCommitReplay(t *testing.T) {
 	if _, err := f.Write([]byte{frameBatch, 0xFF, 0x13, 0x37}); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if _, batches, err = s.Load("g"); err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +267,9 @@ func TestFSStaleWALDiscardedOnSnapshotMismatch(t *testing.T) {
 	if err := EncodeSnapshot(f, &Snapshot{Meta: Meta{Version: 5}, Graph: newGraph}); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	s2, err := OpenFS(dir) // fresh process
 	if err != nil {
