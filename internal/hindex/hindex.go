@@ -44,13 +44,15 @@ func Linear(vals []int32) int32 {
 // — e.g. one scratch per sweep worker in the local algorithms — pays zero
 // allocations in the steady state. The scratch contents need not be
 // zeroed between calls.
+//
+//nucleus:noalloc
 func LinearInto(vals []int32, scratch *[]int32) int32 {
 	n := int32(len(vals))
 	if n == 0 {
 		return 0
 	}
 	if cap(*scratch) < int(n)+1 {
-		*scratch = make([]int32, int(n)+1)
+		*scratch = make([]int32, int(n)+1) //nucleus:lint-ignore noalloc grow-once scratch resize; a reusing caller pays zero allocations in the steady state
 	}
 	cnt := (*scratch)[:n+1]
 	clear(cnt)

@@ -53,6 +53,8 @@ func flatOf(inst nucleus.Instance) (flatArrays, bool) {
 // current index), and par uses atomic τ reads for concurrent asynchronous
 // sweeps (stale higher reads are benign, exactly as in computeTauAtomic).
 // Returns the new index and the number of s-clique visits.
+//
+//nucleus:noalloc
 func computeTauFlat(fa flatArrays, c int32, tau []int32, sc *sweepScratch, cur int32, preserve, par bool) (int32, int64) {
 	if preserve && cur <= 0 {
 		return 0, 0
@@ -84,7 +86,7 @@ func computeTauFlat(fa flatArrays, c int32, tau []int32, sc *sweepScratch, cur i
 				return cur, visits
 			}
 		}
-		vals = append(vals, rho)
+		vals = append(vals, rho) //nucleus:lint-ignore noalloc appends into per-worker scratch retained across cells; grows to the longest row once, then amortized zero
 	}
 	sc.vals = vals
 	return hindex.LinearInto(vals, &sc.cnt), visits
@@ -93,6 +95,8 @@ func computeTauFlat(fa flatArrays, c int32, tau []int32, sc *sweepScratch, cur i
 // notifyNeighborsFlat wakes every co-member cell of c's s-cliques by
 // scanning the flat row directly (the fused counterpart of the
 // VisitNeighbors closure in And's notification mechanism).
+//
+//nucleus:noalloc
 func notifyNeighborsFlat(fa flatArrays, c int32, active []int32) {
 	for _, d := range fa.mem[fa.offs[c]:fa.offs[c+1]] {
 		atomic.StoreInt32(&active[d], 1)

@@ -544,7 +544,7 @@ func parallelFor(n int, opts Options, body func(lo, hi int, sc *sweepScratch) (i
 				defer wg.Done()
 				sc := &sweepScratch{vals: make([]int32, 0, 64)}
 				var u, v int64
-				for {
+				for { //nucleus:lint-ignore ctxstop steal loop is bounded by the shared cursor reaching n; Stop is honored between sweeps where partial τ stays consistent
 					lo := int(atomic.AddInt64(&cursor, int64(chunk))) - chunk
 					if lo >= n {
 						break

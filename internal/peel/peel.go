@@ -96,6 +96,8 @@ func newBucketQueue(deg []int32) *bucketQueue {
 
 // popMin removes and returns an unprocessed cell of minimum current degree.
 // It must only be called while unprocessed cells remain.
+//
+//nucleus:noalloc
 func (q *bucketQueue) popMin() int32 {
 	for {
 		if int(q.cur) >= len(q.buckets) {
@@ -117,11 +119,13 @@ func (q *bucketQueue) popMin() int32 {
 }
 
 // decrease records that cell c now has degree newDeg.
+//
+//nucleus:noalloc
 func (q *bucketQueue) decrease(c int32, newDeg int32) {
 	if q.popped[c] {
 		return
 	}
-	q.buckets[newDeg] = append(q.buckets[newDeg], c)
+	q.buckets[newDeg] = append(q.buckets[newDeg], c) //nucleus:lint-ignore noalloc lazy-deletion push: total appends are bounded by total decrements, buckets grow to that bound once
 	if newDeg < q.cur {
 		q.cur = newDeg
 	}

@@ -130,7 +130,7 @@ func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
 	// Overlay repair, snapshot and warm seeding are graph-sized work on a
 	// request goroutine; take a sync slot like the other such endpoints,
 	// held across the warm seeding below (which runs after unlock).
-	s.acquireSync()
+	s.acquireSync() //nucleus:lint-ignore lockdiscipline deliberate ordering per the comment above: mutation lock first, sync slot second, so queued batches never pin slots
 	defer s.releaseSync()
 
 	old, ne, resp, ok := s.applyMutationLocked(w, name, batch)

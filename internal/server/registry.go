@@ -141,11 +141,15 @@ func (e *graphEntry) densestFor(method string) *densest.Result {
 	if r, ok := e.densestMemo[method]; ok {
 		return r
 	}
+	// The memo mutex deliberately single-flights the computation: a second
+	// request for the same method must wait for the first result, not
+	// duplicate graph-sized work. The lock is per-entry and per-use, never
+	// taken by the registry or mutation paths, so nothing else queues on it.
 	var r *densest.Result
 	if method == "maxcore" {
-		r = densest.MaxCore(e.g)
+		r = densest.MaxCore(e.g) //nucleus:lint-ignore lockdiscipline densestMu exists to single-flight exactly this call; no other code path takes it
 	} else {
-		r = densest.Approx(e.g)
+		r = densest.Approx(e.g) //nucleus:lint-ignore lockdiscipline densestMu exists to single-flight exactly this call; no other code path takes it
 	}
 	if e.densestMemo == nil {
 		e.densestMemo = make(map[string]*densest.Result, 2)
