@@ -1,0 +1,26 @@
+# The lint target is the single static-analysis entry point: CI's lint
+# job runs exactly `make lint`, so a clean local run is a clean CI run.
+# See docs/DEVELOPMENT.md#static-analysis for the analyzer reference.
+
+.PHONY: lint fmt test race build
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+	go run ./cmd/nucleuslint ./...
+
+fmt:
+	gofmt -w .
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...

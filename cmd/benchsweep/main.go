@@ -265,9 +265,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out        = fs.String("out", "BENCH_sweep.json", "artifact output path")
-		pkg        = fs.String("pkg", "./internal/localhi", "package holding the sweep benchmarks")
-		benchRe    = fs.String("bench", "Truss|SweepKernel", "benchmark regex passed to go test")
+		out         = fs.String("out", "BENCH_sweep.json", "artifact output path")
+		pkg         = fs.String("pkg", "./internal/localhi", "package holding the sweep benchmarks")
+		benchRe     = fs.String("bench", "Truss|SweepKernel", "benchmark regex passed to go test")
 		benchtime   = fs.String("benchtime", "", "go test -benchtime (empty = default)")
 		minSpeedup  = fs.Float64("min-speedup", 0, "fail below this indexed-SND speedup (0 disables)")
 		workers     = fs.String("workers", "1,2,4", "worker counts for the parallel peel sweep ('' disables)")

@@ -1,3 +1,5 @@
 module nucleus
 
 go 1.24
+
+toolchain go1.24.0

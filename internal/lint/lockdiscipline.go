@@ -47,12 +47,12 @@ var LockDiscipline = &Analyzer{
 type effect int
 
 const (
-	effChan  effect = 1 << iota // channel send/receive/select without default
-	effWait                     // sync.WaitGroup.Wait
-	effSleep                    // time.Sleep
-	effStore                    // durable store / WAL methods
-	effIO                       // file or network I/O
-	effDecomp                   // decomposition-sized compute (localhi, peel, warm seeding, instance builds)
+	effChan   effect = 1 << iota // channel send/receive/select without default
+	effWait                      // sync.WaitGroup.Wait
+	effSleep                     // time.Sleep
+	effStore                     // durable store / WAL methods
+	effIO                        // file or network I/O
+	effDecomp                    // decomposition-sized compute (localhi, peel, warm seeding, instance builds)
 )
 
 // mutationLockAllowed is the effect set the per-name mutation lock may

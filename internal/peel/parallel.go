@@ -117,7 +117,7 @@ func RunThreads(inst nucleus.Instance, threads int) *Result {
 			for w := range p.touched {
 				for _, d := range p.touched[w] {
 					nd := deg[d] - p.delta[d] //nucleus:lint-ignore atomicfield barrier merge: all workers joined before this read, every atomic add happens-before it
-					p.delta[d] = 0 //nucleus:lint-ignore atomicfield same barrier: workers are parked until the next frontier is published, no concurrent adds
+					p.delta[d] = 0            //nucleus:lint-ignore atomicfield same barrier: workers are parked until the next frontier is published, no concurrent adds
 					if nd <= k {
 						nd = k
 						next = append(next, d)

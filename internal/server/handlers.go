@@ -372,18 +372,18 @@ func orDefault(s, def string) string {
 // Jobs.
 
 type jobView struct {
-	ID            string    `json:"id"`
-	Graph         string    `json:"graph"`
-	Decomposition string    `json:"decomposition"`
-	Algorithm     string    `json:"algorithm"`
-	MaxSweeps     int       `json:"maxSweeps"`
+	ID            string `json:"id"`
+	Graph         string `json:"graph"`
+	Decomposition string `json:"decomposition"`
+	Algorithm     string `json:"algorithm"`
+	MaxSweeps     int    `json:"maxSweeps"`
 	// Threads is the effective intra-job worker count: the request value,
 	// defaulted to the server's -job-threads and clamped to the host.
-	Threads int      `json:"threads"`
-	State   JobState `json:"state"`
-	Cached        bool      `json:"cached"`
-	Error         string    `json:"error,omitempty"`
-	SubmittedAt   time.Time `json:"submittedAt"`
+	Threads     int       `json:"threads"`
+	State       JobState  `json:"state"`
+	Cached      bool      `json:"cached"`
+	Error       string    `json:"error,omitempty"`
+	SubmittedAt time.Time `json:"submittedAt"`
 	// Result summary; meaningful (non-zero) once State is done. No
 	// omitempty: clients rely on "converged": false being visible for
 	// sweep-bounded approximate runs.

@@ -130,9 +130,9 @@ var nullSingleton Store = nullStore{}
 // Null returns the shared no-op Store.
 func Null() Store { return nullSingleton }
 
-func (nullStore) SaveSnapshot(string, *Snapshot) error       { return nil }
-func (nullStore) BeginBatch(string, *Batch) (int, error)     { return 0, nil }
-func (nullStore) CommitBatch(string, uint64) (int, error)    { return 0, nil }
+func (nullStore) SaveSnapshot(string, *Snapshot) error    { return nil }
+func (nullStore) BeginBatch(string, *Batch) (int, error)  { return 0, nil }
+func (nullStore) CommitBatch(string, uint64) (int, error) { return 0, nil }
 func (nullStore) Load(string) (*Snapshot, []CommittedBatch, error) {
 	return nil, nil, ErrNotFound
 }
