@@ -66,3 +66,89 @@ func TestWatchExistingJobAndErrors(t *testing.T) {
 		t.Fatal("watch without -job/-graph succeeded")
 	}
 }
+
+func TestWatchServerUnreachable(t *testing.T) {
+	// A server that no longer exists: the URL is valid but nothing
+	// listens behind it, for both the attach and the submit paths.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	if err := run([]string{"watch", "-server", dead.URL, "-job", "j1"}, &strings.Builder{}); err == nil {
+		t.Fatal("watching via a dead server succeeded")
+	}
+	if err := run([]string{"watch", "-server", dead.URL, "-graph", "p"}, &strings.Builder{}); err == nil {
+		t.Fatal("submitting via a dead server succeeded")
+	}
+}
+
+func TestWatchSubmitUnknownGraph(t *testing.T) {
+	ts := watchServer(t, 801)
+	err := run([]string{"watch", "-server", ts.URL, "-graph", "no-such-graph"}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("submitting a job on an unknown graph succeeded")
+	}
+	if !strings.Contains(err.Error(), "submitting job") {
+		t.Fatalf("error does not name the submit step: %v", err)
+	}
+}
+
+// sseServer serves a canned byte stream on /jobs/j1/stream, so the
+// mid-run failure modes (connection cut before the done event, malformed
+// event payloads) are reproducible without racing a real job.
+func sseServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/jobs/j1/stream" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestWatchStreamClosedMidRun(t *testing.T) {
+	// Two progress events, then the server ends the stream without ever
+	// sending a done event (crash, restart, proxy timeout): the command
+	// must fail rather than report a silently truncated run.
+	ts := sseServer(t,
+		"event: progress\ndata: {\"sweep\":1,\"maxTau\":3}\n\n"+
+			"event: progress\ndata: {\"sweep\":2,\"maxTau\":2}\n\n")
+	var sb strings.Builder
+	err := run([]string{"watch", "-server", ts.URL, "-job", "j1"}, &sb)
+	if err == nil {
+		t.Fatal("truncated stream reported success")
+	}
+	if !strings.Contains(err.Error(), "stream ended without a done event") {
+		t.Fatalf("unexpected error for truncated stream: %v", err)
+	}
+	// The sweeps seen before the cut were still rendered.
+	if !strings.Contains(sb.String(), "sweep    1") || !strings.Contains(sb.String(), "sweep    2") {
+		t.Fatalf("progress before the cut not printed: %q", sb.String())
+	}
+}
+
+func TestWatchMalformedEvents(t *testing.T) {
+	badProgress := sseServer(t, "event: progress\ndata: {not json}\n\n")
+	if err := run([]string{"watch", "-server", badProgress.URL, "-job", "j1"}, &strings.Builder{}); err == nil ||
+		!strings.Contains(err.Error(), "bad progress event") {
+		t.Fatalf("malformed progress event not rejected: %v", err)
+	}
+
+	badDone := sseServer(t, "event: done\ndata: {not json}\n\n")
+	if err := run([]string{"watch", "-server", badDone.URL, "-job", "j1"}, &strings.Builder{}); err == nil ||
+		!strings.Contains(err.Error(), "bad done event") {
+		t.Fatalf("malformed done event not rejected: %v", err)
+	}
+}
+
+func TestWatchFailedJobDoneEvent(t *testing.T) {
+	// A done event in a non-done state must fail the command so scripted
+	// callers do not mistake a cancelled or failed job for success.
+	ts := sseServer(t, "event: done\ndata: {\"state\":\"failed\",\"error\":\"graph evicted\"}\n\n")
+	err := run([]string{"watch", "-server", ts.URL, "-job", "j1"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "graph evicted") {
+		t.Fatalf("failed job not surfaced: %v", err)
+	}
+}
