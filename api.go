@@ -19,6 +19,12 @@ import (
 // and duplicate edges collapsed. Pass n = -1 to infer the vertex count.
 func BuildGraph(n int, edges [][2]uint32) *Graph { return graph.Build(n, edges) }
 
+// BuildGraphThreads is BuildGraph with up to threads workers. The result is
+// bit-identical to BuildGraph at every thread count.
+func BuildGraphThreads(n int, edges [][2]uint32, threads int) *Graph {
+	return graph.BuildThreads(n, edges, threads)
+}
+
 // LoadEdgeList reads a whitespace-separated edge-list file ('#'/'%'
 // comments allowed).
 func LoadEdgeList(path string) (*Graph, error) { return graph.LoadEdgeList(path) }

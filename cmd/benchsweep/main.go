@@ -20,7 +20,19 @@
 // flagged goMaxProcsLimited, and the gate is skipped rather than
 // reporting a fake pass or a spurious failure.
 //
-//	benchsweep -out BENCH_sweep.json -benchtime 1x -workers 1,2,4
+// With -stages (on by default) it also records the per-stage wall-time
+// breakdown of the decomposition pipeline — CSR build, clique
+// enumeration, index construction, bucket peeling, h-index sweeping — at
+// each requested thread count under "stages", the Amdahl accounting
+// behind docs/PERFORMANCE.md. Two more gates ride on it: -min-e2e-speedup
+// fails when the end-to-end build+peel speedup at 4 threads falls below
+// the floor (GOMAXPROCS-aware skip, like the peel gate), and
+// -stage-baseline/-stage-regress fail when any stage's wall time
+// regresses by more than the allowed fraction against a committed
+// artifact measured at the same GOMAXPROCS.
+//
+//	benchsweep -out BENCH_sweep.json -benchtime 1x -workers 1,2,4 \
+//	    -stages 1,4 -stage-baseline BENCH_sweep.json
 package main
 
 import (
@@ -86,6 +98,10 @@ type artifact struct {
 	// ParallelPeel holds the multi-core scaling rows of the parallel
 	// bucket-peeling engine; nil when the sweep is disabled (-workers '').
 	ParallelPeel *parallelPeel `json:"parallelPeel,omitempty"`
+	// Stages holds the per-stage pipeline wall-time breakdown
+	// (build/enumerate/index/peel/sweep per thread count) and the
+	// end-to-end build+peel speedup; nil when disabled (-stages '').
+	Stages *stageBreakdown `json:"stages,omitempty"`
 }
 
 // parallelRow is one worker count of the parallel-peel scaling sweep.
@@ -200,8 +216,9 @@ func buildArtifact(results []benchResult, pkg string, minSpeedup float64) (*arti
 	return art, nil
 }
 
-// parseWorkers parses the -workers flag ("1,2,4") into worker counts.
-func parseWorkers(spec string) ([]int, error) {
+// parseCounts parses a comma-separated count list ("1,2,4") — the shared
+// format of the -workers and -stages flags — into positive ints.
+func parseCounts(flagName, spec string) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(spec, ",") {
 		f = strings.TrimSpace(f)
@@ -210,12 +227,12 @@ func parseWorkers(spec string) ([]int, error) {
 		}
 		n, err := strconv.Atoi(f)
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("-workers: bad worker count %q", f)
+			return nil, fmt.Errorf("%s: bad count %q", flagName, f)
 		}
 		out = append(out, n)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("-workers: no worker counts in %q", spec)
+		return nil, fmt.Errorf("%s: no counts in %q", flagName, spec)
 	}
 	return out, nil
 }
@@ -276,9 +293,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// kernel smoke they need several iterations to be stable; the peel
 		// benchmark is ~10ms/op, so the go default (1s) costs seconds.
 		parallelBenchtime = fs.String("parallel-benchtime", "", "go test -benchtime for the parallel peel sweep (empty = go default)")
+		stagesSpec        = fs.String("stages", "1,4", "thread counts for the per-stage pipeline breakdown ('' disables)")
+		stageReps         = fs.Int("stage-reps", 3, "repetitions per stage timing; each row records the best")
+		minE2E            = fs.Float64("min-e2e-speedup", 0, "fail below this end-to-end build+peel speedup at 4 threads (0 disables; skipped when GOMAXPROCS < 4)")
+		stageBaseline     = fs.String("stage-baseline", "", "committed BENCH_sweep.json to compare stage wall times against ('' disables; armed only at matching GOMAXPROCS)")
+		stageRegress      = fs.Float64("stage-regress", 0.2, "max fractional per-stage slowdown vs -stage-baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Read the baseline before anything can overwrite it: -out and
+	// -stage-baseline usually name the same committed artifact.
+	var baseline *artifact
+	if *stageBaseline != "" {
+		data, err := os.ReadFile(*stageBaseline)
+		if err != nil {
+			return fmt.Errorf("-stage-baseline: %w", err)
+		}
+		baseline = new(artifact)
+		if err := json.Unmarshal(data, baseline); err != nil {
+			return fmt.Errorf("-stage-baseline %s: %w", *stageBaseline, err)
+		}
 	}
 
 	raw, err := runGoBench(stdout, stderr, nil, *pkg, *benchRe, *benchtime)
@@ -295,7 +331,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	art, gateErr := buildArtifact(results, *pkg, *minSpeedup)
 
 	if *workers != "" {
-		ws, err := parseWorkers(*workers)
+		ws, err := parseCounts("-workers", *workers)
 		if err != nil {
 			return err
 		}
@@ -315,6 +351,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	if *stagesSpec != "" {
+		ts, err := parseCounts("-stages", *stagesSpec)
+		if err != nil {
+			return err
+		}
+		rows := measureStages(ts, *stageReps, stdout)
+		sec, serr := buildStages(rows, *stageReps, *minE2E, runtime.GOMAXPROCS(0))
+		art.Stages = sec
+		if gateErr == nil {
+			gateErr = serr
+		}
+		if baseline != nil {
+			if err := checkStageRegress(sec, baseline, *stageRegress, runtime.GOMAXPROCS(0), stdout); err != nil && gateErr == nil {
+				gateErr = err
+			}
+		}
+	}
+
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
 		return err
@@ -331,6 +385,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "parallel peel: %d worker counts, speedup at 4 workers %.2fx%s\n",
 			len(pp.Rows), pp.SpeedupAt4, limited)
+	}
+	if st := art.Stages; st != nil {
+		limited := ""
+		if st.GoMaxProcsLimited {
+			limited = " (GOMAXPROCS-limited; gate skipped)"
+		}
+		fmt.Fprintf(stdout, "stages: %d rows on %q, end-to-end build+peel speedup at 4 threads %.2fx%s\n",
+			len(st.Rows), st.Dataset, st.EndToEndSpeedupAt4, limited)
 	}
 	return gateErr
 }

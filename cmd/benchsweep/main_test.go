@@ -112,14 +112,14 @@ func TestParseBenchSubBenchmarks(t *testing.T) {
 	}
 }
 
-func TestParseWorkers(t *testing.T) {
-	ws, err := parseWorkers("1, 2,4")
+func TestParseCounts(t *testing.T) {
+	ws, err := parseCounts("-workers", "1, 2,4")
 	if err != nil || len(ws) != 3 || ws[0] != 1 || ws[2] != 4 {
-		t.Fatalf("parseWorkers = %v, %v", ws, err)
+		t.Fatalf("parseCounts = %v, %v", ws, err)
 	}
 	for _, bad := range []string{"", "0", "1,x", "-2"} {
-		if _, err := parseWorkers(bad); err == nil {
-			t.Fatalf("parseWorkers(%q) accepted", bad)
+		if _, err := parseCounts("-workers", bad); err == nil {
+			t.Fatalf("parseCounts(%q) accepted", bad)
 		}
 	}
 }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// healthyStageRows models a host where build and peel both scale ~2.7x
+// at 4 threads while enumerate/index/sweep stay serial-ish.
+func healthyStageRows() []stageRow {
+	return []stageRow{
+		{Stage: stageBuild, Threads: 1, NsPerOp: 8_000_000},
+		{Stage: stageEnumerate, Threads: 1, NsPerOp: 5_000_000},
+		{Stage: stageIndex, Threads: 1, NsPerOp: 6_000_000},
+		{Stage: stagePeel, Threads: 1, NsPerOp: 10_000_000},
+		{Stage: stageSweep, Threads: 1, NsPerOp: 40_000_000},
+		{Stage: stageBuild, Threads: 4, NsPerOp: 3_000_000},
+		{Stage: stageEnumerate, Threads: 4, NsPerOp: 2_000_000},
+		{Stage: stageIndex, Threads: 4, NsPerOp: 5_000_000},
+		{Stage: stagePeel, Threads: 4, NsPerOp: 3_600_000},
+		{Stage: stageSweep, Threads: 4, NsPerOp: 15_000_000},
+	}
+}
+
+func TestBuildStages(t *testing.T) {
+	rows := healthyStageRows()
+
+	sec, err := buildStages(rows, 3, 1.5, 8)
+	if err != nil {
+		t.Fatalf("gate failed on healthy rows: %v", err)
+	}
+	// (8+10)/(3+3.6) = 18/6.6 ≈ 2.73.
+	if sec.EndToEndSpeedupAt4 < 2.7 || sec.EndToEndSpeedupAt4 > 2.8 {
+		t.Fatalf("endToEndSpeedupAt4 = %.2f, want ~2.73", sec.EndToEndSpeedupAt4)
+	}
+	if sec.GoMaxProcsLimited || sec.Note != "" {
+		t.Fatalf("flagged limited on an 8-proc host: %+v", sec)
+	}
+
+	// Below the floor on a capable host: gate fires.
+	if _, err := buildStages(rows, 3, 10, 8); err == nil {
+		t.Fatal("e2e speedup gate did not fire at min=10")
+	}
+
+	// Same numbers on a 1-proc host: rows recorded, gate skipped.
+	sec, err = buildStages(rows, 3, 10, 1)
+	if err != nil {
+		t.Fatalf("gate fired on a GOMAXPROCS-limited host: %v", err)
+	}
+	if !sec.GoMaxProcsLimited || sec.Note == "" {
+		t.Fatalf("limited host not flagged: %+v", sec)
+	}
+
+	// Gate armed but threads=4 not swept: explicit error, not silent pass.
+	var only1 []stageRow
+	for _, r := range rows {
+		if r.Threads == 1 {
+			only1 = append(only1, r)
+		}
+	}
+	if _, err := buildStages(only1, 3, 1.5, 8); err == nil {
+		t.Fatal("min-e2e-speedup with no threads=4 rows passed")
+	}
+}
+
+func TestCheckStageRegress(t *testing.T) {
+	base := &artifact{GoMaxProcs: 8, Stages: &stageBreakdown{Rows: healthyStageRows()}}
+
+	// Identical rows: within tolerance.
+	cur := &stageBreakdown{Rows: healthyStageRows()}
+	if err := checkStageRegress(cur, base, 0.2, 8, io.Discard); err != nil {
+		t.Fatalf("identical rows flagged as regression: %v", err)
+	}
+
+	// One stage 50% slower: gate fires and names it.
+	slow := healthyStageRows()
+	slow[3].NsPerOp *= 1.5 // peel at 1 thread
+	err := checkStageRegress(&stageBreakdown{Rows: slow}, base, 0.2, 8, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "peel at 1 threads") {
+		t.Fatalf("50%% peel regression not caught: %v", err)
+	}
+
+	// Same slowdown within a looser tolerance: passes.
+	if err := checkStageRegress(&stageBreakdown{Rows: slow}, base, 0.6, 8, io.Discard); err != nil {
+		t.Fatalf("regression within tolerance flagged: %v", err)
+	}
+
+	// Baseline from a different GOMAXPROCS: skipped, with a note.
+	var out strings.Builder
+	if err := checkStageRegress(&stageBreakdown{Rows: slow}, base, 0.2, 4, &out); err != nil {
+		t.Fatalf("cross-host baseline not skipped: %v", err)
+	}
+	if !strings.Contains(out.String(), "regression gate skipped") {
+		t.Fatalf("skip not reported: %q", out.String())
+	}
+
+	// Baseline predating the stages schema: skipped.
+	if err := checkStageRegress(cur, &artifact{GoMaxProcs: 8}, 0.2, 8, io.Discard); err != nil {
+		t.Fatalf("schema-less baseline not skipped: %v", err)
+	}
+}
+
+// TestMeasureStagesSmoke runs the real pipeline once per stage: every
+// stage must produce a positive wall time and the rows must come out in
+// (threads, stage) order for the artifact to be diffable.
+func TestMeasureStagesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full pipeline on the bundled dataset")
+	}
+	rows := measureStages([]int{1}, 1, io.Discard)
+	want := []string{stageBuild, stageEnumerate, stageIndex, stagePeel, stageSweep}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i, r := range rows {
+		if r.Stage != want[i] || r.Threads != 1 {
+			t.Fatalf("row %d = %+v, want stage %q at 1 thread", i, r, want[i])
+		}
+		if r.NsPerOp <= 0 {
+			t.Fatalf("stage %q measured %v ns/op", r.Stage, r.NsPerOp)
+		}
+	}
+}

@@ -13,14 +13,23 @@ type TriangleIndex struct {
 	byKey map[Triangle]int32
 }
 
-// BuildTriangleIndex enumerates all triangles and indexes them.
+// BuildTriangleIndex enumerates all triangles and indexes them. It is
+// BuildTriangleIndexThreads with a single thread.
 func BuildTriangleIndex(g *graph.Graph) *TriangleIndex {
-	idx := &TriangleIndex{byKey: make(map[Triangle]int32)}
-	ForEach(g, func(t Triangle) bool {
-		idx.byKey[t] = int32(len(idx.List))
-		idx.List = append(idx.List, t)
-		return true
-	})
+	return BuildTriangleIndexThreads(g, 1)
+}
+
+// BuildTriangleIndexThreads is BuildTriangleIndex with the enumeration
+// fanned out across threads. Triangle ids are bit-identical at every thread
+// count: the list comes from the chunk-ordered parallel enumeration, which
+// reproduces ForEach's sequential order, and ids are positions in it. Only
+// the map insert loop stays serial.
+func BuildTriangleIndexThreads(g *graph.Graph, threads int) *TriangleIndex {
+	list := Triangles(g, threads)
+	idx := &TriangleIndex{List: list, byKey: make(map[Triangle]int32, len(list))}
+	for i, t := range list {
+		idx.byKey[t] = int32(i)
+	}
 	return idx
 }
 

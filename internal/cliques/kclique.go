@@ -1,8 +1,69 @@
 package cliques
 
 import (
+	"sync"
+
 	"nucleus/internal/graph"
+	"nucleus/internal/par"
 )
+
+// kcliqueEnum is the shared read-only state of a k-clique enumeration: the
+// degeneracy rank and the rank-sorted oriented adjacency. Roots are
+// independent given this state, which is what lets KCliquesFlat fan the
+// recursion out across threads.
+type kcliqueEnum struct {
+	k    int
+	rank []int32
+	// Oriented adjacency sorted by rank: with candidates kept in rank order,
+	// every later candidate has higher rank than the current pick v, so the
+	// candidates adjacent to v are exactly those in out[v].
+	out [][]uint32
+}
+
+func newKCliqueEnum(g *graph.Graph, k, threads int) *kcliqueEnum {
+	rank, _ := g.DegeneracyOrder()
+	return &kcliqueEnum{k: k, rank: rank, out: orientedAdjacencyRankSorted(g, rank, threads)}
+}
+
+// visitRoot calls fn with every k-clique whose lowest-rank vertex is u, in
+// the fixed recursion order over the orientation. clique (cap >= k) and
+// sorted (len k) are caller scratch reused across roots; the slice passed
+// to fn is sorted ascending and reused between calls. Returns false if fn
+// stopped the enumeration.
+func (e *kcliqueEnum) visitRoot(u uint32, clique, sorted []uint32, fn func(members []uint32) bool) bool {
+	k := e.k
+	if k == 1 {
+		sorted[0] = u
+		return fn(sorted)
+	}
+	clique = append(clique[:0], u)
+	stopped := false
+	// extend grows the current clique using cand: vertices adjacent (in the
+	// orientation) to every current member.
+	var extend func(cand []uint32)
+	extend = func(cand []uint32) {
+		need := k - len(clique)
+		for i := 0; i+need <= len(cand); i++ {
+			v := cand[i]
+			clique = append(clique, v)
+			if need == 1 {
+				copy(sorted, clique)
+				insertionSort(sorted)
+				if !fn(sorted) {
+					stopped = true
+				}
+			} else {
+				extend(intersectByRank(cand[i+1:], e.out[v], e.rank))
+			}
+			clique = clique[:len(clique)-1]
+			if stopped {
+				return
+			}
+		}
+	}
+	extend(e.out[u])
+	return !stopped
+}
 
 // ForEachKClique enumerates every k-clique exactly once (k >= 1), calling fn
 // with the member vertices sorted ascending. The slice passed to fn is
@@ -14,64 +75,49 @@ func ForEachKClique(g *graph.Graph, k int, fn func(members []uint32) bool) {
 		return
 	}
 	n := g.N()
-	if k == 1 {
-		buf := make([]uint32, 1)
-		for u := 0; u < n; u++ {
-			buf[0] = uint32(u)
-			if !fn(buf) {
-				return
-			}
-		}
-		return
-	}
-	rank, _ := g.DegeneracyOrder()
-	// Oriented adjacency sorted by rank: with candidates kept in rank order,
-	// every later candidate has higher rank than the current pick v, so the
-	// candidates adjacent to v are exactly those in out[v].
-	out := orientedAdjacencyRankSorted(g, rank)
+	e := newKCliqueEnum(g, k, 1)
 	clique := make([]uint32, 0, k)
-	stopped := false
-
-	// extend grows the current clique using cand: vertices adjacent (in the
-	// orientation) to every current member.
-	var extend func(cand []uint32)
-	extend = func(cand []uint32) {
-		if stopped {
+	sorted := make([]uint32, k)
+	for u := 0; u < n; u++ {
+		if !e.visitRoot(uint32(u), clique, sorted, fn) {
 			return
 		}
-		if len(clique) == k {
-			sorted := append([]uint32(nil), clique...)
-			insertionSort(sorted)
-			if !fn(sorted) {
-				stopped = true
-			}
-			return
-		}
-		need := k - len(clique)
-		for i := 0; i+need <= len(cand); i++ {
-			v := cand[i]
-			clique = append(clique, v)
-			if need == 1 {
-				sorted := append([]uint32(nil), clique...)
-				insertionSort(sorted)
-				if !fn(sorted) {
-					stopped = true
-				}
-			} else {
-				next := intersectByRank(cand[i+1:], out[v], rank)
-				extend(next)
-			}
-			clique = clique[:len(clique)-1]
-			if stopped {
-				return
-			}
-		}
 	}
+}
 
-	for u := 0; u < n && !stopped; u++ {
-		clique = append(clique[:0], uint32(u))
-		extend(out[u])
+// KCliquesFlat enumerates every k-clique and returns the members flat — k
+// sorted vertices per clique — in the exact order ForEachKClique emits
+// them, with the recursion fanned out across threads by root vertex. The
+// chunk-ordered gather makes the list (and hence any dense clique ids
+// assigned from it) bit-identical at every thread count.
+func KCliquesFlat(g *graph.Graph, k, threads int) []uint32 {
+	if k < 1 {
+		return nil
 	}
+	n := g.N()
+	if k == 1 {
+		out := make([]uint32, n)
+		par.ForEach(n, 4096, threads, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				out[u] = uint32(u)
+			}
+		})
+		return out
+	}
+	e := newKCliqueEnum(g, k, threads)
+	type scratch struct{ clique, sorted []uint32 }
+	pool := sync.Pool{New: func() any {
+		return &scratch{clique: make([]uint32, 0, k), sorted: make([]uint32, k)}
+	}}
+	return par.Collect(n, 64, threads, func(u int, buf []uint32) []uint32 {
+		s := pool.Get().(*scratch)
+		e.visitRoot(uint32(u), s.clique, s.sorted, func(members []uint32) bool {
+			buf = append(buf, members...)
+			return true
+		})
+		pool.Put(s)
+		return buf
+	})
 }
 
 // CountKCliques returns the number of k-cliques.
@@ -85,25 +131,28 @@ func CountKCliques(g *graph.Graph, k int) int64 {
 }
 
 // orientedAdjacencyRankSorted returns, for each vertex, its higher-rank
-// neighbors sorted by rank.
-func orientedAdjacencyRankSorted(g *graph.Graph, rank []int32) [][]uint32 {
+// neighbors sorted by rank. Rows are independent, so the pass shards
+// across threads.
+func orientedAdjacencyRankSorted(g *graph.Graph, rank []int32, threads int) [][]uint32 {
 	n := g.N()
 	out := make([][]uint32, n)
-	for u := 0; u < n; u++ {
-		var row []uint32
-		for _, v := range g.Neighbors(uint32(u)) {
-			if rank[v] > rank[u] {
-				row = append(row, v)
+	par.ForEach(n, 256, threads, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			var row []uint32
+			for _, v := range g.Neighbors(uint32(u)) {
+				if rank[v] > rank[u] {
+					row = append(row, v)
+				}
 			}
-		}
-		// Sort by rank (insertion sort on rank keys; rows are short).
-		for i := 1; i < len(row); i++ {
-			for j := i; j > 0 && rank[row[j]] < rank[row[j-1]]; j-- {
-				row[j], row[j-1] = row[j-1], row[j]
+			// Sort by rank (insertion sort on rank keys; rows are short).
+			for i := 1; i < len(row); i++ {
+				for j := i; j > 0 && rank[row[j]] < rank[row[j-1]]; j-- {
+					row[j], row[j-1] = row[j-1], row[j]
+				}
 			}
+			out[u] = row
 		}
-		out[u] = row
-	}
+	})
 	return out
 }
 

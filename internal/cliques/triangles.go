@@ -7,6 +7,7 @@ package cliques
 
 import (
 	"nucleus/internal/graph"
+	"nucleus/internal/par"
 )
 
 // Triangle is a vertex triple sorted ascending.
@@ -127,56 +128,82 @@ func ForEach(g *graph.Graph, fn func(Triangle) bool) {
 	rank := g.DegreeOrder()
 	n := g.N()
 	// out[u] = oriented out-neighbors of u, sorted by vertex id.
-	out := orientedAdjacency(g, rank)
+	out := orientedAdjacency(g, rank, 1)
 	for u := 0; u < n; u++ {
-		ou := out[u]
-		for _, v := range ou {
-			ov := out[v]
-			// Intersect out(u) with out(v): every common w closes a triangle
-			// {u,v,w} with rank(u) < rank(v) < rank(w), so each triangle is
-			// emitted exactly once, from its lowest-rank vertex.
-			x, y := 0, 0
-			for x < len(ou) && y < len(ov) {
-				switch {
-				case ou[x] < ov[y]:
-					x++
-				case ou[x] > ov[y]:
-					y++
-				default:
-					if !fn(sortedTriple(uint32(u), v, ou[x])) {
-						return
-					}
-					x++
-					y++
-				}
-			}
+		if !trianglesOfRoot(out, u, fn) {
+			return
 		}
 	}
 }
 
+// Triangles returns every triangle exactly once, in the exact order ForEach
+// emits them, with the enumeration fanned out across threads by root
+// vertex. The chunk-ordered gather keeps the list bit-identical to the
+// sequential enumeration at every thread count, which is what makes the
+// triangle ids handed out by BuildTriangleIndexThreads deterministic.
+func Triangles(g *graph.Graph, threads int) []Triangle {
+	rank := g.DegreeOrder()
+	out := orientedAdjacency(g, rank, threads)
+	return par.Collect(g.N(), 64, threads, func(u int, buf []Triangle) []Triangle {
+		trianglesOfRoot(out, u, func(t Triangle) bool {
+			buf = append(buf, t)
+			return true
+		})
+		return buf
+	})
+}
+
+// trianglesOfRoot emits the triangles whose lowest-rank vertex is u:
+// intersect out(u) with out(v) for each v in out(u) — every common w closes
+// a triangle {u,v,w} with rank(u) < rank(v) < rank(w), so each triangle is
+// emitted exactly once across roots. Returns false if fn stopped.
+func trianglesOfRoot(out [][]uint32, u int, fn func(Triangle) bool) bool {
+	ou := out[u]
+	for _, v := range ou {
+		ov := out[v]
+		x, y := 0, 0
+		for x < len(ou) && y < len(ov) {
+			switch {
+			case ou[x] < ov[y]:
+				x++
+			case ou[x] > ov[y]:
+				y++
+			default:
+				if !fn(sortedTriple(uint32(u), v, ou[x])) {
+					return false
+				}
+				x++
+				y++
+			}
+		}
+	}
+	return true
+}
+
 // orientedAdjacency returns, for each vertex, its neighbors of higher rank,
-// sorted by vertex id.
-func orientedAdjacency(g *graph.Graph, rank []int32) [][]uint32 {
+// sorted by vertex id. Rows are independent, so both the sizing and fill
+// passes shard across threads.
+func orientedAdjacency(g *graph.Graph, rank []int32, threads int) [][]uint32 {
 	n := g.N()
 	out := make([][]uint32, n)
-	// Pre-size.
-	sizes := make([]int32, n)
-	for u := 0; u < n; u++ {
-		for _, v := range g.Neighbors(uint32(u)) {
-			if rank[v] > rank[u] {
-				sizes[u]++
+	par.ForEach(n, 256, threads, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			size := 0
+			for _, v := range g.Neighbors(uint32(u)) {
+				if rank[v] > rank[u] {
+					size++
+				}
 			}
-		}
-	}
-	for u := 0; u < n; u++ {
-		out[u] = make([]uint32, 0, sizes[u])
-		for _, v := range g.Neighbors(uint32(u)) {
-			if rank[v] > rank[u] {
-				out[u] = append(out[u], v)
+			row := make([]uint32, 0, size)
+			for _, v := range g.Neighbors(uint32(u)) {
+				if rank[v] > rank[u] {
+					row = append(row, v)
+				}
 			}
+			// Neighbors are id-sorted already, and we preserved order.
+			out[u] = row
 		}
-		// Neighbors are id-sorted already, and we preserved order.
-	}
+	})
 	return out
 }
 

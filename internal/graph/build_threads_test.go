@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBuildThreadsBitIdentical proves the parallel CSR builder reproduces
+// the sequential graph — offsets, adjacency, edge ids, endpoint tables —
+// at every thread count, over the generator families and messy edge lists
+// (duplicates, self-loops, reversed endpoints, n == -1 inference).
+func TestBuildThreadsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]uint32
+	}{
+		{"empty", -1, nil},
+		{"selfLoopOnly", -1, [][2]uint32{{7, 7}}},
+		{"isolatedTail", 100, [][2]uint32{{0, 1}, {1, 2}}},
+	}
+	for _, g := range []*Graph{
+		Complete(9),
+		CliqueChain(5, 6),
+		GnM(300, 1200, 3),
+		BarabasiAlbert(250, 6, 4),
+		RMAT(9, 4, 0.45, 0.22, 0.22, 5),
+		WattsStrogatz(200, 8, 0.15, 6),
+		PlantedCommunities(4, 20, 0.5, 60, 7),
+		PowerLawCluster(220, 5, 0.4, 8),
+	} {
+		cases = append(cases, struct {
+			name  string
+			n     int
+			edges [][2]uint32
+		}{g.String(), -1, g.Edges()})
+	}
+	// A deliberately messy list: duplicates, both orientations, self-loops.
+	var messy [][2]uint32
+	for i := 0; i < 2000; i++ {
+		u, v := uint32(rng.Intn(150)), uint32(rng.Intn(150))
+		messy = append(messy, [2]uint32{u, v})
+		if rng.Intn(3) == 0 {
+			messy = append(messy, [2]uint32{v, u})
+		}
+	}
+	cases = append(cases, struct {
+		name  string
+		n     int
+		edges [][2]uint32
+	}{"messy", -1, messy}, struct {
+		name  string
+		n     int
+		edges [][2]uint32
+	}{"messyExplicitN", 200, messy})
+
+	for _, tc := range cases {
+		want := BuildThreads(tc.n, tc.edges, 1)
+		for _, threads := range []int{2, 4, 8} {
+			got := BuildThreads(tc.n, tc.edges, threads)
+			if err := sameGraph(want, got); err != nil {
+				t.Errorf("%s threads=%d: %v", tc.name, threads, err)
+			}
+		}
+		seq := Build(tc.n, tc.edges)
+		if err := sameGraph(want, seq); err != nil {
+			t.Errorf("%s: Build != BuildThreads(1): %v", tc.name, err)
+		}
+	}
+}
+
+// TestBuildInfersNFromSelfLoops pins the inference semantics the folded
+// degree pass must preserve: self-loop endpoints raise n, add no edges.
+func TestBuildInfersNFromSelfLoops(t *testing.T) {
+	g := Build(-1, [][2]uint32{{7, 7}})
+	if g.N() != 8 || g.M() != 0 {
+		t.Fatalf("n=%d m=%d, want n=8 m=0", g.N(), g.M())
+	}
+}

@@ -11,7 +11,10 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+
+	"nucleus/internal/par"
 )
 
 // Graph is an immutable undirected simple graph in CSR form.
@@ -83,118 +86,219 @@ func (g *Graph) Edge(e int64) (u, v uint32) {
 
 // Build constructs a Graph from an edge list. Self-loops are dropped and
 // duplicate edges collapsed. n must be at least max(endpoint)+1; pass n = -1
-// to infer it from the edges.
+// to infer it from the edges. Build is BuildThreads with a single thread.
 func Build(n int, edges [][2]uint32) *Graph {
-	if n < 0 {
-		maxV := uint32(0)
-		for _, e := range edges {
-			if e[0] > maxV {
-				maxV = e[0]
+	return BuildThreads(n, edges, 1)
+}
+
+// BuildThreads is Build with up to threads workers. The result is
+// bit-identical to Build at every thread count: the CSR scatter assigns
+// every entry the slot a sequential stable counting sort would (contiguous
+// per-worker edge ranges merged vertex-major, worker-minor), rows are then
+// normalized by sort/dedup, and edge ids are numbered by a per-row prefix
+// sum that reproduces the sequential row walk.
+//
+// When n == -1 the max-endpoint inference rides along in the degree pass
+// (per-worker growable count arrays plus a per-worker running max), so the
+// edge list is scanned exactly twice — count, scatter — not three times.
+func BuildThreads(n int, edges [][2]uint32, threads int) *Graph {
+	ne := len(edges)
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > ne && ne > 0 {
+		threads = ne
+	}
+
+	// Pass 1: per-worker degree counts over contiguous edge ranges. Self-loop
+	// endpoints still raise the inferred max (Build(-1, [(7,7)]) has n = 8)
+	// but contribute no degree.
+	counts := make([][]int64, threads)
+	maxVs := make([]uint32, threads)
+	workers := par.Ranges(ne, threads, func(w, lo, hi int) {
+		var c []int64
+		if n >= 0 {
+			c = make([]int64, n)
+		}
+		var maxV uint32
+		for _, e := range edges[lo:hi] {
+			u, v := e[0], e[1]
+			if u > maxV {
+				maxV = u
 			}
-			if e[1] > maxV {
-				maxV = e[1]
+			if v > maxV {
+				maxV = v
 			}
-		}
-		if len(edges) == 0 {
-			n = 0
-		} else {
-			n = int(maxV) + 1
-		}
-	}
-	deg := make([]int64, n+1)
-	for _, e := range edges {
-		if e[0] == e[1] {
-			continue
-		}
-		deg[e[0]+1]++
-		deg[e[1]+1]++
-	}
-	for i := 0; i < n; i++ {
-		deg[i+1] += deg[i]
-	}
-	offs := deg
-	adj := make([]uint32, offs[n])
-	fill := make([]int64, n)
-	for _, e := range edges {
-		if e[0] == e[1] {
-			continue
-		}
-		u, v := e[0], e[1]
-		adj[offs[u]+fill[u]] = v
-		fill[u]++
-		adj[offs[v]+fill[v]] = u
-		fill[v]++
-	}
-	// Sort each row and dedup in place, compacting the arrays.
-	w := int64(0)
-	newOffs := make([]int64, n+1)
-	for u := 0; u < n; u++ {
-		row := adj[offs[u] : offs[u]+fill[u]]
-		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
-		start := w
-		var prev uint32
-		first := true
-		for _, v := range row {
-			if !first && v == prev {
+			if u == v {
 				continue
 			}
-			adj[w] = v
-			w++
-			prev, first = v, false
+			if n < 0 && int(maxV) >= len(c) {
+				want := int(maxV) + 1
+				if grow := 2 * len(c); grow > want {
+					want = grow
+				}
+				nc := make([]int64, want)
+				copy(nc, c)
+				c = nc
+			}
+			c[u]++
+			c[v]++
 		}
-		newOffs[u] = start
+		counts[w], maxVs[w] = c, maxV
+	})
+	counts = counts[:workers]
+	if n < 0 {
+		n = 0
+		if ne > 0 {
+			m := maxVs[0]
+			for _, v := range maxVs[1:workers] {
+				if v > m {
+					m = v
+				}
+			}
+			n = int(m) + 1
+		}
 	}
-	newOffs[n] = w
-	// newOffs currently holds row starts; convert to standard offsets.
-	offs = make([]int64, n+1)
-	copy(offs, newOffs)
-	adj = adj[:w]
+	for w, c := range counts {
+		if len(c) < n {
+			nc := make([]int64, n)
+			copy(nc, c)
+			counts[w] = nc
+		} else {
+			counts[w] = c[:n]
+		}
+	}
 
-	g := &Graph{offs: offs, adj: adj}
-	g.assignEdgeIDs()
+	// Vertex-major, worker-minor merge: offs becomes the CSR offset array and
+	// each counts[w][u] the first slot for worker w's entries of row u.
+	offs := make([]int64, n+1)
+	tot := offs[1:]
+	par.ForEach(n, 4096, threads, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			var t int64
+			for _, c := range counts {
+				t += c[u]
+			}
+			tot[u] = t
+		}
+	})
+	for u := 1; u <= n; u++ {
+		offs[u] += offs[u-1]
+	}
+	par.ForEach(n, 4096, threads, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			cur := offs[u]
+			for _, c := range counts {
+				k := c[u]
+				c[u] = cur
+				cur += k
+			}
+		}
+	})
+
+	// Pass 2: scatter both directions. Ranges re-derives the identical
+	// per-worker split, so each worker's cursors cover exactly its entries.
+	adj := make([]uint32, offs[n])
+	par.Ranges(ne, threads, func(w, lo, hi int) {
+		c := counts[w]
+		for _, e := range edges[lo:hi] {
+			u, v := e[0], e[1]
+			if u == v {
+				continue
+			}
+			adj[c[u]] = v
+			c[u]++
+			adj[c[v]] = u
+			c[v]++
+		}
+	})
+
+	// Sort and dedup every row independently, then compact via prefix sum.
+	rowLen := make([]int64, n+1)
+	par.ForEach(n, 256, threads, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			row := adj[offs[u]:offs[u+1]]
+			slices.Sort(row)
+			k := 0
+			for _, v := range row {
+				if k > 0 && v == row[k-1] {
+					continue
+				}
+				row[k] = v
+				k++
+			}
+			rowLen[u] = int64(k)
+		}
+	})
+	par.PrefixSum(rowLen) // rowLen is now the compacted offset array
+	newAdj := make([]uint32, rowLen[n])
+	par.ForEach(n, 256, threads, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			copy(newAdj[rowLen[u]:rowLen[u+1]], adj[offs[u]:])
+		}
+	})
+
+	g := &Graph{offs: rowLen, adj: newAdj}
+	g.assignEdgeIDs(threads)
 	return g
 }
 
-// assignEdgeIDs walks rows in vertex order and numbers each edge {u,v} (u<v)
-// at its first appearance, mirroring the id onto the (v,u) direction.
-func (g *Graph) assignEdgeIDs() {
+// assignEdgeIDs numbers each edge {u,v} (u<v) at its first appearance in a
+// row walk in vertex order, mirroring the id onto the (v,u) direction. The
+// sequential walk parallelizes exactly: per-row upper-neighbor counts merge
+// into per-row id bases by prefix sum, so every id is independent of the
+// thread count.
+func (g *Graph) assignEdgeIDs(threads int) {
 	n := g.N()
 	g.eid = make([]int64, len(g.adj))
-	next := int64(0)
-	for u := 0; u < n; u++ {
-		uu := uint32(u)
-		ns := g.Neighbors(uu)
-		base := g.offs[u]
-		for i, v := range ns {
-			if v > uu {
-				g.eid[base+int64(i)] = next
-				next++
+	base := make([]int64, n+1)
+	par.ForEach(n, 256, threads, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			uu := uint32(u)
+			var cnt int64
+			ns := g.Neighbors(uu)
+			for i := len(ns) - 1; i >= 0 && ns[i] > uu; i-- {
+				cnt++
+			}
+			base[u] = cnt
+		}
+	})
+	g.m = par.PrefixSum(base)
+	g.edgeU = make([]uint32, g.m)
+	g.edgeV = make([]uint32, g.m)
+	par.ForEach(n, 256, threads, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			uu := uint32(u)
+			next := base[u]
+			off := g.offs[u]
+			for i, v := range g.Neighbors(uu) {
+				if v > uu {
+					g.eid[off+int64(i)] = next
+					g.edgeU[next] = uu
+					g.edgeV[next] = v
+					next++
+				}
 			}
 		}
-	}
-	g.m = next
-	g.edgeU = make([]uint32, next)
-	g.edgeV = make([]uint32, next)
-	// Mirror ids to the upper-triangle direction and record endpoints.
-	for u := 0; u < n; u++ {
-		uu := uint32(u)
-		ns := g.Neighbors(uu)
-		base := g.offs[u]
-		for i, v := range ns {
-			if v > uu {
-				e := g.eid[base+int64(i)]
-				g.edgeU[e] = uu
-				g.edgeV[e] = v
-			} else {
-				// Find id on v's row (v < u, already assigned).
+	})
+	// Mirror ids onto the lower-triangle direction. Every upper id is
+	// assigned before the barrier above returns, so the lookups only read.
+	par.ForEach(n, 256, threads, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			uu := uint32(u)
+			off := g.offs[u]
+			for i, v := range g.Neighbors(uu) {
+				if v >= uu {
+					break // rows are sorted: lower neighbors form a prefix
+				}
 				id, ok := g.lookupAssigned(v, uu)
 				if !ok {
 					panic("graph: missing mirrored edge")
 				}
-				g.eid[base+int64(i)] = id
+				g.eid[off+int64(i)] = id
 			}
 		}
-	}
+	})
 }
 
 func (g *Graph) lookupAssigned(u, v uint32) (int64, bool) {

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"nucleus/internal/cliques"
 	"nucleus/internal/graph"
+	"nucleus/internal/par"
 )
 
 // FlatRS is the generic (r,s) instance over a flat CSR incidence index:
@@ -35,11 +35,11 @@ type FlatRS struct {
 }
 
 // NewFlatRS enumerates the r-cliques and s-cliques of g (r < s) and builds
-// the flat incidence index. The scatter pass — the bulk of the memory
-// traffic — is split across the given number of workers; clique
-// enumeration itself is sequential (it assigns dense cell ids in order, so
-// ids are deterministic and identical to Hyper's). Panics if r >= s or
-// r < 1, like NewHyper.
+// the flat incidence index. Both enumerations fan out across the given
+// number of workers via the chunk-ordered parallel enumerator, which
+// reproduces the sequential emission order — so dense cell ids are
+// deterministic and identical to Hyper's at every thread count. Panics if
+// r >= s or r < 1, like NewHyper.
 func NewFlatRS(g *graph.Graph, r, s, threads int) *FlatRS {
 	if r < 1 || r >= s {
 		panic(fmt.Sprintf("nucleus: invalid (r,s) = (%d,%d)", r, s))
@@ -49,32 +49,40 @@ func NewFlatRS(g *graph.Graph, r, s, threads int) *FlatRS {
 	}
 	f := &FlatRS{r: r, s: s, coArity: binom(s, r) - 1}
 
-	// Enumerate and index the r-cliques.
-	idOf := make(map[string]int32)
-	cliques.ForEachKClique(g, r, func(memberVerts []uint32) bool {
-		idOf[cliqueKey(memberVerts)] = int32(len(f.cellVerts) / r)
-		f.cellVerts = append(f.cellVerts, memberVerts...)
-		return true
-	})
+	// Enumerate and index the r-cliques; ids are positions in the flat list.
+	f.cellVerts = cliques.KCliquesFlat(g, r, threads)
 	n := len(f.cellVerts) / r
+	idOf := make(map[string]int32, n)
+	for c := 0; c < n; c++ {
+		idOf[cliqueKey(f.cellVerts[c*r:(c+1)*r])] = int32(c)
+	}
 	f.deg = make([]int32, n)
 
 	// Pass 1: enumerate the s-cliques once, resolving each to its member
-	// cell ids (groups of groupSize = coArity+1), and count s-degrees.
+	// cell ids (groups of groupSize = coArity+1), and count s-degrees. The
+	// map is read-only here, so resolution shards over the s-cliques.
 	groupSize := f.coArity + 1
-	var groups []int32
-	sub := make([]uint32, r)
-	cliques.ForEachKClique(g, s, func(memberVerts []uint32) bool {
-		forEachSubset(memberVerts, r, sub, func() {
+	sFlat := cliques.KCliquesFlat(g, s, threads)
+	numS := len(sFlat) / s
+	var subPool = sync.Pool{New: func() any {
+		b := make([]uint32, r)
+		return &b
+	}}
+	groups := par.Collect(numS, 256, threads, func(si int, buf []int32) []int32 {
+		sub := *subPool.Get().(*[]uint32)
+		forEachSubset(sFlat[si*s:(si+1)*s], r, sub, func() {
 			id, ok := idOf[cliqueKey(sub)]
 			if !ok {
 				panic("nucleus: s-clique subset missing from r-clique index")
 			}
-			groups = append(groups, id)
-			f.deg[id]++
+			buf = append(buf, id)
 		})
-		return true
+		subPool.Put(&sub)
+		return buf
 	})
+	for _, id := range groups {
+		f.deg[id]++
+	}
 
 	// Pass 2: prefix-sum the degrees into CSR offsets and record each
 	// membership's write slot. Slot assignment follows enumeration order,
@@ -94,7 +102,7 @@ func NewFlatRS(g *graph.Graph, r, s, threads int) *FlatRS {
 	// in parallel over s-cliques (disjoint writes).
 	f.members = make([]int32, f.offs[n])
 	numGroups := len(groups) / groupSize
-	fill := func(lo, hi int) {
+	par.ForEach(numGroups, 512, threads, func(lo, hi int) {
 		for gi := lo; gi < hi; gi++ {
 			grp := groups[gi*groupSize : (gi+1)*groupSize]
 			for j := range grp {
@@ -108,28 +116,7 @@ func NewFlatRS(g *graph.Graph, r, s, threads int) *FlatRS {
 				}
 			}
 		}
-	}
-	const grain = 512
-	if workers := min(threads, (numGroups+grain-1)/grain); workers <= 1 {
-		fill(0, numGroups)
-	} else {
-		var at int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					lo := int(atomic.AddInt64(&at, grain)) - grain
-					if lo >= numGroups {
-						return
-					}
-					fill(lo, min(lo+grain, numGroups))
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	})
 	return f
 }
 

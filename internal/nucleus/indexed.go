@@ -94,7 +94,7 @@ type IndexedN34 struct {
 // NewIndexedN34 enumerates and indexes all triangles, counts 4-cliques per
 // triangle in parallel, and materializes the flat incidence index.
 func NewIndexedN34(g *graph.Graph, threads int) *IndexedN34 {
-	idx := cliques.BuildTriangleIndex(g)
+	idx := cliques.BuildTriangleIndexThreads(g, threads)
 	deg := idx.K4DegreePerTriangleParallel(g, threads)
 	return &IndexedN34{G: g, Idx: idx, Inc: cliques.BuildK4Incidence(g, idx, deg, threads), deg: deg}
 }
@@ -225,7 +225,7 @@ func Build(g *graph.Graph, fam Family, memBudget int64, threads int) (Instance, 
 		rep.IndexBytes = inst.Inc.Bytes()
 		return inst, rep
 	case FamilyN34:
-		idx := cliques.BuildTriangleIndex(g)
+		idx := cliques.BuildTriangleIndexThreads(g, threads)
 		deg := idx.K4DegreePerTriangleParallel(g, threads)
 		rep.EstimatedBytes = cliques.K4IncidenceBytes(int64(idx.Len()), sumInt32(deg))
 		if !withinBudget(rep.EstimatedBytes, memBudget) {

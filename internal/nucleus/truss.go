@@ -74,11 +74,12 @@ type N34 struct {
 // parallelizes it.
 func NewN34(g *graph.Graph) *N34 { return NewN34Threads(g, 1) }
 
-// NewN34Threads returns the (3,4) instance of g, splitting the per-triangle
-// 4-clique count across the given number of workers (triangle enumeration
-// itself stays sequential: it assigns dense ids in order).
+// NewN34Threads returns the (3,4) instance of g, splitting both the
+// triangle enumeration and the per-triangle 4-clique count across the given
+// number of workers. Triangle ids stay identical to the sequential build:
+// the parallel enumeration reproduces the sequential emission order.
 func NewN34Threads(g *graph.Graph, threads int) *N34 {
-	idx := cliques.BuildTriangleIndex(g)
+	idx := cliques.BuildTriangleIndexThreads(g, threads)
 	return &N34{G: g, Idx: idx, deg: idx.K4DegreePerTriangleParallel(g, threads)}
 }
 

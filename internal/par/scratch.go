@@ -1,0 +1,54 @@
+package par
+
+// Scratch is a fixed set of per-worker reusable buffers for loops that
+// accumulate intermediate results worker-locally (frontier fragments,
+// touched lists, counting arrays). Buffers keep their capacity across
+// rounds, so steady-state use allocates nothing once each worker's buffer
+// has grown to its high-water mark.
+//
+// Get hands out the worker's buffer truncated to length zero (Grow hands
+// it out zero-filled at a requested length); the caller owns it until the
+// next Get/Grow for the same worker index. Distinct worker indices may be
+// used concurrently; one index must not.
+type Scratch[T any] struct {
+	bufs [][]T
+}
+
+// NewScratch returns a Scratch with buffers for the given worker count.
+func NewScratch[T any](workers int) *Scratch[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Scratch[T]{bufs: make([][]T, workers)}
+}
+
+// Workers returns the number of per-worker buffers.
+func (s *Scratch[T]) Workers() int { return len(s.bufs) }
+
+// Get returns worker w's buffer with length 0, retaining capacity.
+func (s *Scratch[T]) Get(w int) []T {
+	return s.bufs[w][:0]
+}
+
+// Put stores buf back as worker w's buffer so capacity grown by the
+// caller (via append) is retained for the next round.
+func (s *Scratch[T]) Put(w int, buf []T) {
+	s.bufs[w] = buf
+}
+
+// Grow returns worker w's buffer resized to length n, growing the backing
+// array if needed and zeroing the returned prefix.
+func (s *Scratch[T]) Grow(w, n int) []T {
+	b := s.bufs[w]
+	if cap(b) < n {
+		b = make([]T, n)
+	} else {
+		b = b[:n]
+		var zero T
+		for i := range b {
+			b[i] = zero
+		}
+	}
+	s.bufs[w] = b
+	return b
+}

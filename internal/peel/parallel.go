@@ -2,10 +2,10 @@ package peel
 
 import (
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"nucleus/internal/nucleus"
+	"nucleus/internal/par"
 )
 
 // RunThreads peels the instance with round-synchronous frontier
@@ -30,6 +30,17 @@ import (
 // within the remainder) peeling order, since Run pops one cell at a time
 // where RunThreads peels whole levels.
 //
+// Buckets are a flat counting-sort CSR (par.CountingCSR over the initial
+// degrees) instead of a ragged [][]int32: one offsets array plus one cells
+// array, built in parallel. Cells only ever move to *higher* buckets after
+// construction (merges clamp at the current level, so a cell's new degree
+// is either the level — peeled next sub-round — or strictly above it), so
+// moved cells go to an append-only spill chain per bucket and both static
+// row and chain are validated lazily (stamp < 0 && deg == cur) at
+// extraction. Level extraction shards the static row across the worker
+// pool; the steady-state barrier merge is allocation-free (mergeTouched is
+// //nucleus:noalloc).
+//
 // threads <= 1 runs the same engine on the calling goroutine. Small
 // frontiers are always processed inline: a barrier per sub-round only pays
 // for itself when there is enough frontier work to split.
@@ -44,32 +55,31 @@ func RunThreads(inst nucleus.Instance, threads int) *Result {
 	}
 
 	deg := inst.Degrees()
-	maxD := int32(0)
-	for _, d := range deg {
-		if d > maxD {
-			maxD = d
-		}
-	}
-	buckets := make([][]int32, maxD+1)
-	for c, d := range deg {
-		buckets[d] = append(buckets[d], int32(c))
-	}
+	maxD := par.MaxInt32(deg, threads)
+	boffs, bcells := par.CountingCSR(deg, int(maxD)+1, threads)
 
 	p := &parPeeler{
-		inst:    inst,
-		deg:     deg,
-		delta:   make([]int32, n),
-		stamp:   make([]int32, n),
-		threads: threads,
-		touched: make([][]int32, threads),
+		inst:      inst,
+		deg:       deg,
+		delta:     make([]int32, n),
+		stamp:     make([]int32, n),
+		threads:   threads,
+		touched:   make([][]int32, threads),
+		levelBufs: make([][]int32, threads),
+		boffs:     boffs,
+		bcells:    bcells,
+		spillHead: make([]int32, int(maxD)+1),
 	}
 	for i := range p.stamp {
 		p.stamp[i] = -1
 	}
+	for i := range p.spillHead {
+		p.spillHead[i] = -1
+	}
 
 	var (
-		frontier  []int32
-		next      []int32
+		frontier  = make([]int32, 0, n)
+		next      = make([]int32, 0, n)
 		remaining = n
 		cur       int32 // lowest possibly non-empty bucket
 		k         int32 // current peeling level
@@ -81,15 +91,10 @@ func RunThreads(inst nucleus.Instance, threads int) *Result {
 		// a lower bucket by a barrier merge).
 		frontier = frontier[:0]
 		for len(frontier) == 0 {
-			if int(cur) >= len(buckets) {
+			if int(cur) >= len(p.spillHead) {
 				panic("peel: level scan ran past the last bucket")
 			}
-			for _, c := range buckets[cur] {
-				if p.stamp[c] < 0 && deg[c] == cur {
-					frontier = append(frontier, c)
-				}
-			}
-			buckets[cur] = nil
+			frontier = p.extractLevel(cur, frontier)
 			if len(frontier) == 0 {
 				cur++
 			}
@@ -109,25 +114,7 @@ func RunThreads(inst nucleus.Instance, threads int) *Result {
 
 			p.processFrontier(frontier, sr)
 
-			// Barrier merge: apply the pending decrements, clamped at the
-			// level (the sequential algorithm never decrements a cell below
-			// k — it is about to be peeled at k anyway), and route each
-			// touched cell to the next frontier or its new bucket.
-			next = next[:0]
-			for w := range p.touched {
-				for _, d := range p.touched[w] {
-					nd := deg[d] - p.delta[d] //nucleus:lint-ignore atomicfield barrier merge: all workers joined before this read, every atomic add happens-before it
-					p.delta[d] = 0            //nucleus:lint-ignore atomicfield same barrier: workers are parked until the next frontier is published, no concurrent adds
-					if nd <= k {
-						nd = k
-						next = append(next, d)
-					} else {
-						buckets[nd] = append(buckets[nd], d)
-					}
-					deg[d] = nd
-				}
-				p.touched[w] = p.touched[w][:0]
-			}
+			next = p.mergeTouched(k, next[:0])
 			sr++
 			frontier, next = next, frontier
 		}
@@ -156,6 +143,84 @@ type parPeeler struct {
 	// touched[w] is worker w's list of cells it claimed (first decrement
 	// wins) during the current sub-round.
 	touched [][]int32
+	// levelBufs[w] collects worker w's still-valid cells during a sharded
+	// level extraction; drained into the frontier after the join.
+	levelBufs [][]int32
+	// boffs/bcells is the static counting-sort bucket CSR over the initial
+	// degrees: bucket d's cells are bcells[boffs[d]:boffs[d+1]]. Entries are
+	// validated lazily at extraction, never deleted.
+	boffs  []int64
+	bcells []int32
+	// spillHead/spillCell/spillNext hold cells moved to higher buckets by
+	// barrier merges as per-bucket singly linked chains threaded through two
+	// append-only arrays: spillHead[d] is the newest entry of bucket d (-1 =
+	// none), entry i is cell spillCell[i] with predecessor spillNext[i].
+	spillHead []int32
+	spillCell []int32
+	spillNext []int32
+}
+
+// levelGrain is the number of static-bucket entries per chunk when a level
+// extraction is sharded across the worker pool.
+const levelGrain = 2048
+
+// extractLevel appends every still-valid cell of bucket cur — unprocessed
+// and still at degree cur — to frontier. The static CSR row shards across
+// the pool (stamps and degrees are only written at barriers, so the scan
+// just reads); the spill chain is walked inline and reset. Extraction
+// order is scheduling-dependent, which is fine: every sub-round sorts its
+// frontier before recording it.
+func (p *parPeeler) extractLevel(cur int32, frontier []int32) []int32 {
+	row := p.bcells[p.boffs[cur]:p.boffs[cur+1]]
+	par.ForEachWorker(len(row), levelGrain, p.threads, func(w, lo, hi int) {
+		buf := p.levelBufs[w]
+		for _, c := range row[lo:hi] {
+			if p.stamp[c] < 0 && p.deg[c] == cur {
+				buf = append(buf, c)
+			}
+		}
+		p.levelBufs[w] = buf
+	})
+	for w := range p.levelBufs {
+		frontier = append(frontier, p.levelBufs[w]...)
+		p.levelBufs[w] = p.levelBufs[w][:0]
+	}
+	for i := p.spillHead[cur]; i >= 0; i = p.spillNext[i] {
+		c := p.spillCell[i]
+		if p.stamp[c] < 0 && p.deg[c] == cur {
+			frontier = append(frontier, c)
+		}
+	}
+	p.spillHead[cur] = -1
+	return frontier
+}
+
+// mergeTouched is the steady-state barrier merge: apply the pending
+// decrements of the sub-round, clamped at the level k (the sequential
+// algorithm never decrements a cell below k — it is about to be peeled at
+// k anyway), and route each touched cell to the next frontier or its new
+// bucket's spill chain. All workers joined before the call, so the delta
+// reads and resets race with nothing.
+//
+//nucleus:noalloc
+func (p *parPeeler) mergeTouched(k int32, next []int32) []int32 {
+	for w := range p.touched {
+		for _, d := range p.touched[w] {
+			nd := p.deg[d] - p.delta[d] //nucleus:lint-ignore atomicfield barrier merge: all workers joined before this read, every atomic add happens-before it
+			p.delta[d] = 0              //nucleus:lint-ignore atomicfield same barrier: workers are parked until the next frontier is published, no concurrent adds
+			if nd <= k {
+				nd = k
+				next = append(next, d) //nucleus:lint-ignore noalloc next is preallocated to cap n and each unprocessed cell is appended at most once per merge
+			} else {
+				p.spillCell = append(p.spillCell, d)               //nucleus:lint-ignore noalloc spill push: total pushes are bounded by total s-clique decrements, the array grows to that bound once
+				p.spillNext = append(p.spillNext, p.spillHead[nd]) //nucleus:lint-ignore noalloc same bound: spillNext grows in lockstep with spillCell
+				p.spillHead[nd] = int32(len(p.spillCell) - 1)
+			}
+			p.deg[d] = nd
+		}
+		p.touched[w] = p.touched[w][:0]
+	}
+	return next
 }
 
 // frontierGrain is the minimum number of frontier cells per worker before a
@@ -171,7 +236,8 @@ const frontierGrain = 128
 // into the worker's touched list, so the barrier merge visits each touched
 // cell exactly once.
 func (p *parPeeler) processFrontier(frontier []int32, sr int32) {
-	span := func(lo, hi int, tl *[]int32) {
+	par.ForEachWorker(len(frontier), frontierGrain, p.threads, func(w, lo, hi int) {
+		tl := &p.touched[w]
 		for i := lo; i < hi; i++ {
 			c := frontier[i]
 			p.inst.VisitSCliques(c, func(others []int32) bool {
@@ -194,34 +260,5 @@ func (p *parPeeler) processFrontier(frontier []int32, sr int32) {
 				return true
 			})
 		}
-	}
-
-	workers := p.threads
-	if max := (len(frontier) + frontierGrain - 1) / frontierGrain; workers > max {
-		workers = max
-	}
-	if workers <= 1 {
-		span(0, len(frontier), &p.touched[0])
-		return
-	}
-	var cursor int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for {
-				lo := int(atomic.AddInt64(&cursor, frontierGrain)) - frontierGrain
-				if lo >= len(frontier) {
-					return
-				}
-				hi := lo + frontierGrain
-				if hi > len(frontier) {
-					hi = len(frontier)
-				}
-				span(lo, hi, &p.touched[w])
-			}
-		}(w)
-	}
-	wg.Wait()
+	})
 }

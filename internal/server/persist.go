@@ -2,8 +2,10 @@ package server
 
 import (
 	"log"
+	"runtime"
 
 	"nucleus/internal/dynamic"
+	"nucleus/internal/par"
 	"nucleus/internal/store"
 )
 
@@ -29,9 +31,20 @@ import (
 //     instead of decomposing cold.
 
 // recoverFromStore rebuilds the registry from the persistence backend.
-// Called from New before the listener can exist, so it needs no locks.
+// Called from New before the listener can exist, so no request can observe
+// a half-recovered registry; the shared structures the workers do touch —
+// registry install, result cache, atomic counters — are all internally
+// locked, which is what makes the per-graph fan-out below safe.
 // Per-graph failures are logged and counted, not fatal: one corrupt graph
 // must not take down the other millions.
+//
+// Graphs recover concurrently across a worker pool (each graph's WAL
+// replay is inherently serial — batch order is the contract — but graphs
+// are independent), and each snapshot decode additionally fans its CSR
+// construction across Config.JobThreads when the backend implements
+// store.ThreadedLoader. Recovered versions are bit-identical to the serial
+// path: per-graph results do not depend on recovery order, and the final
+// version bump takes the max over all of them.
 func (s *Server) recoverFromStore() {
 	names, err := s.store.List()
 	if err != nil {
@@ -39,27 +52,44 @@ func (s *Server) recoverFromStore() {
 		s.persistErrors.Add(1)
 		return
 	}
-	maxVer := uint64(0)
-	for _, name := range names {
-		snap, batches, err := s.store.Load(name)
-		if err != nil {
-			log.Printf("nucleusd: recovering graph %q: %v", name, err)
-			s.persistErrors.Add(1)
-			continue
+	loader, _ := s.store.(store.ThreadedLoader)
+	versions := make([]uint64, len(names))
+	par.ForEach(len(names), 1, runtime.GOMAXPROCS(0), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			name := names[i]
+			var (
+				snap    *store.Snapshot
+				batches []store.CommittedBatch
+				err     error
+			)
+			if loader != nil {
+				snap, batches, err = loader.LoadThreads(name, s.cfg.JobThreads)
+			} else {
+				snap, batches, err = s.store.Load(name)
+			}
+			if err != nil {
+				log.Printf("nucleusd: recovering graph %q: %v", name, err)
+				s.persistErrors.Add(1)
+				continue
+			}
+			e := rebuildEntry(name, snap, batches)
+			versions[i] = e.version
+			s.reg.install(e)
+			s.replays.Add(1)
+			s.replayedBatches.Add(int64(len(batches)))
+			if e.coreKappa != nil {
+				s.warmRecoverCore(e)
+			}
 		}
-		e := rebuildEntry(name, snap, batches)
-		if e.version > maxVer {
-			maxVer = e.version
-		}
-		s.reg.install(e)
-		s.replays.Add(1)
-		s.replayedBatches.Add(int64(len(batches)))
-		if e.coreKappa != nil {
-			s.warmRecoverCore(e)
-		}
-	}
+	})
 	// Future versions must stay above every recovered one, or cache keys
 	// from different lifetimes of a name could collide.
+	maxVer := uint64(0)
+	for _, v := range versions {
+		if v > maxVer {
+			maxVer = v
+		}
+	}
 	s.reg.bumpVersion(maxVer)
 }
 

@@ -167,8 +167,18 @@ func (r *byteReader) varint() (int64, error) {
 }
 
 // DecodeSnapshot parses and checksums a snapshot image produced by
-// EncodeSnapshot.
+// EncodeSnapshot. It is DecodeSnapshotThreads with a single thread.
 func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	return DecodeSnapshotThreads(data, 1)
+}
+
+// DecodeSnapshotThreads is DecodeSnapshot with the CPU-bound part of the
+// decode — CSR construction from the parsed edge list, the dominant cost on
+// large snapshots — fanned across threads. The varint parse itself is
+// inherently sequential (each delta's position depends on the previous
+// one). The result is bit-identical to DecodeSnapshot at every thread
+// count, because graph.BuildThreads is.
+func DecodeSnapshotThreads(data []byte, threads int) (*Snapshot, error) {
 	if len(data) < len(snapMagic)+1+4 {
 		return nil, fmt.Errorf("store: snapshot too short (%d bytes)", len(data))
 	}
@@ -255,7 +265,7 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if uint64(len(edges)) != m64 {
 		return nil, fmt.Errorf("store: snapshot header says m=%d but %d edges encoded", m64, len(edges))
 	}
-	snap.Graph = graph.Build(n, edges)
+	snap.Graph = graph.BuildThreads(n, edges, threads)
 
 	flag, err := r.ReadByte()
 	if err != nil {

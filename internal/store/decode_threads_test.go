@@ -1,0 +1,63 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"nucleus/internal/graph"
+)
+
+// TestDecodeSnapshotThreadsBitIdentical proves the threaded decode path —
+// the one recovery uses — reproduces the single-threaded result exactly:
+// same CSR rows, edge ids, endpoint tables, metadata and κ at every thread
+// count.
+func TestDecodeSnapshotThreadsBitIdentical(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"empty":    graph.Build(0, nil),
+		"isolated": graph.Build(23, nil),
+		"complete": graph.Complete(11),
+		"gnm":      graph.GnM(400, 1600, 9),
+		"plc":      graph.PowerLawCluster(350, 4, 0.5, 10),
+		"rmat":     graph.RMAT(9, 5, 0.45, 0.22, 0.22, 11),
+	}
+	for name, g := range graphs {
+		kappa := make([]int32, g.N())
+		for v := range kappa {
+			kappa[v] = int32(v % 7)
+		}
+		snap := &Snapshot{
+			Meta: Meta{
+				Version:   42,
+				Source:    "upload:edgelist",
+				CreatedAt: time.Unix(0, 1234567890),
+				Mutations: 3,
+			},
+			Graph: g,
+			Kappa: kappa,
+		}
+		var buf bytes.Buffer
+		if err := EncodeSnapshot(&buf, snap); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		want, err := DecodeSnapshot(buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: serial decode: %v", name, err)
+		}
+		for _, threads := range []int{2, 4, 8} {
+			got, err := DecodeSnapshotThreads(buf.Bytes(), threads)
+			if err != nil {
+				t.Fatalf("%s threads=%d: %v", name, threads, err)
+			}
+			if got.Meta != want.Meta {
+				t.Fatalf("%s threads=%d: meta %+v, want %+v", name, threads, got.Meta, want.Meta)
+			}
+			sameGraph(t, got.Graph, want.Graph)
+			for v := range want.Kappa {
+				if got.Kappa[v] != want.Kappa[v] {
+					t.Fatalf("%s threads=%d: κ(%d) = %d, want %d", name, threads, v, got.Kappa[v], want.Kappa[v])
+				}
+			}
+		}
+	}
+}

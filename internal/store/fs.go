@@ -171,8 +171,15 @@ func (s *FS) appendWAL(name string, frame []byte) (int, error) {
 }
 
 // Load implements Store. A corrupt WAL tail is truncated in place so
-// future appends continue from the last intact frame.
+// future appends continue from the last intact frame. It is LoadThreads
+// with a single thread.
 func (s *FS) Load(name string) (*Snapshot, []CommittedBatch, error) {
+	return s.LoadThreads(name, 1)
+}
+
+// LoadThreads implements ThreadedLoader: Load with the snapshot's CSR
+// construction fanned across threads. Bit-identical to Load.
+func (s *FS) LoadThreads(name string, threads int) (*Snapshot, []CommittedBatch, error) {
 	g := s.byName(name)
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -184,7 +191,7 @@ func (s *FS) Load(name string) (*Snapshot, []CommittedBatch, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	snap, err := DecodeSnapshot(data)
+	snap, err := DecodeSnapshotThreads(data, threads)
 	if err != nil {
 		return nil, nil, fmt.Errorf("decoding snapshot of %q: %w", name, err)
 	}

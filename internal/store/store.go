@@ -121,6 +121,15 @@ type Store interface {
 	Close() error
 }
 
+// ThreadedLoader is an optional capability a Store may implement: Load
+// with the CPU-bound part of snapshot decoding (CSR construction) fanned
+// across threads. The result is bit-identical to Load at every thread
+// count. The serving layer type-asserts for it at startup recovery; plain
+// Load remains the portable path, so the public Store surface is unchanged.
+type ThreadedLoader interface {
+	LoadThreads(name string, threads int) (*Snapshot, []CommittedBatch, error)
+}
+
 // nullStore discards everything: the default backend when no data
 // directory is configured, and a convenient stand-in for tests.
 type nullStore struct{}
