@@ -31,6 +31,13 @@
 // regresses by more than the allowed fraction against a committed
 // artifact measured at the same GOMAXPROCS.
 //
+// With -sched (on by default) it also runs the workload-aware job
+// scheduler's dispatch benchmarks in internal/sched and records their
+// ns/op and allocs/op under "scheduler". The gate is hard, like the
+// fused-kernel one: both the single-item dispatch cycle and the
+// standing-backlog variant must report exactly 0 allocs/op, because the
+// scheduler sits in front of every job the server runs.
+//
 //	benchsweep -out BENCH_sweep.json -benchtime 1x -workers 1,2,4 \
 //	    -stages 1,4 -stage-baseline BENCH_sweep.json
 package main
@@ -59,6 +66,10 @@ const (
 
 	parallelPkg   = "./internal/peel"
 	parallelBench = "BenchmarkPeelScalingTruss"
+
+	schedPkg          = "./internal/sched"
+	schedDispatchName = "BenchmarkSchedulerDispatch"
+	schedBacklogName  = "BenchmarkSchedulerBacklogDispatch"
 )
 
 // benchResult is one parsed benchmark line.
@@ -102,6 +113,50 @@ type artifact struct {
 	// (build/enumerate/index/peel/sweep per thread count) and the
 	// end-to-end build+peel speedup; nil when disabled (-stages '').
 	Stages *stageBreakdown `json:"stages,omitempty"`
+	// Scheduler holds the dispatch hot-path numbers of the workload-aware
+	// job scheduler; nil when disabled (-sched=false). The smoke gate
+	// requires exactly 0 allocs/op on both rows: scheduling replaced a
+	// bare channel in front of every job the server runs, and must not
+	// tax it.
+	Scheduler *schedulerSection `json:"scheduler,omitempty"`
+}
+
+// schedulerSection is the "scheduler" artifact section: the single-item
+// Enqueue→TryNext→Done cycle and the standing-backlog variant that
+// exercises the DRR rotation and EDF heap repair.
+type schedulerSection struct {
+	DispatchNsPerOp     float64 `json:"dispatchNsPerOp"`
+	DispatchAllocsPerOp float64 `json:"dispatchAllocsPerOp"`
+	BacklogNsPerOp      float64 `json:"backlogNsPerOp"`
+	BacklogAllocsPerOp  float64 `json:"backlogAllocsPerOp"`
+}
+
+// buildSched assembles the scheduler section and enforces the
+// zero-allocation dispatch gate.
+func buildSched(results []benchResult) (*schedulerSection, error) {
+	sec := &schedulerSection{}
+	for _, row := range []struct {
+		name   string
+		ns     *float64
+		allocs *float64
+	}{
+		{schedDispatchName, &sec.DispatchNsPerOp, &sec.DispatchAllocsPerOp},
+		{schedBacklogName, &sec.BacklogNsPerOp, &sec.BacklogAllocsPerOp},
+	} {
+		res := find(results, row.name)
+		if res == nil {
+			return sec, fmt.Errorf("benchmark %s missing from output", row.name)
+		}
+		if res.AllocsPerOp == nil {
+			return sec, fmt.Errorf("benchmark %s reported no allocs/op (ran without -benchmem?)", row.name)
+		}
+		*row.ns = res.NsPerOp
+		*row.allocs = *res.AllocsPerOp
+		if *res.AllocsPerOp != 0 {
+			return sec, fmt.Errorf("scheduler dispatch hot path allocates: %s at %v allocs/op (want 0)", row.name, *res.AllocsPerOp)
+		}
+	}
+	return sec, nil
 }
 
 // parallelRow is one worker count of the parallel-peel scaling sweep.
@@ -298,6 +353,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		minE2E            = fs.Float64("min-e2e-speedup", 0, "fail below this end-to-end build+peel speedup at 4 threads (0 disables; skipped when GOMAXPROCS < 4)")
 		stageBaseline     = fs.String("stage-baseline", "", "committed BENCH_sweep.json to compare stage wall times against ('' disables; armed only at matching GOMAXPROCS)")
 		stageRegress      = fs.Float64("stage-regress", 0.2, "max fractional per-stage slowdown vs -stage-baseline")
+		sched             = fs.Bool("sched", true, "run the scheduler dispatch benchmarks and gate on 0 allocs/op")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -369,6 +425,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	if *sched {
+		sraw, err := runGoBench(stdout, stderr, nil, schedPkg, "SchedulerDispatch|SchedulerBacklogDispatch", *benchtime)
+		if err != nil {
+			return err
+		}
+		sresults, err := parseBench(strings.NewReader(sraw))
+		if err != nil {
+			return err
+		}
+		sec, serr := buildSched(sresults)
+		art.Scheduler = sec
+		if gateErr == nil {
+			gateErr = serr
+		}
+	}
+
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
 		return err
@@ -393,6 +465,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "stages: %d rows on %q, end-to-end build+peel speedup at 4 threads %.2fx%s\n",
 			len(st.Rows), st.Dataset, st.EndToEndSpeedupAt4, limited)
+	}
+	if sc := art.Scheduler; sc != nil {
+		fmt.Fprintf(stdout, "scheduler: dispatch %.1f ns/op (%v allocs/op), backlog %.1f ns/op (%v allocs/op)\n",
+			sc.DispatchNsPerOp, sc.DispatchAllocsPerOp, sc.BacklogNsPerOp, sc.BacklogAllocsPerOp)
 	}
 	return gateErr
 }

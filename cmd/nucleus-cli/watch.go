@@ -31,6 +31,7 @@ func runWatch(args []string, w io.Writer) error {
 		algName   = fs.String("alg", "and", "algorithm for -graph: and, snd")
 		threads   = fs.Int("threads", 0, "job threads for -graph (0 = server default)")
 		maxSweeps = fs.Int("max-sweeps", 0, "sweep budget for -graph (0 = to convergence)")
+		tenant    = fs.String("tenant", "", "tenant name for -graph, sent as the X-Nucleus-Tenant header (empty = the server's default tenant)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,7 +44,7 @@ func runWatch(args []string, w io.Writer) error {
 	id := *jobID
 	if *graphName != "" {
 		var err error
-		if id, err = submitJob(base, *graphName, *decName, *algName, *threads, *maxSweeps); err != nil {
+		if id, err = submitJob(base, *graphName, *decName, *algName, *tenant, *threads, *maxSweeps); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "submitted job %s (%s %s on %q)\n", id, *algName, *decName, *graphName)
@@ -60,13 +61,23 @@ func runWatch(args []string, w io.Writer) error {
 	return printStream(resp.Body, w)
 }
 
-// submitJob posts a decomposition job and returns its id.
-func submitJob(base, graph, dec, alg string, threads, maxSweeps int) (string, error) {
+// submitJob posts a decomposition job and returns its id. tenant, when
+// non-empty, is sent as the X-Nucleus-Tenant header so the server's
+// scheduler accounts the job (and its quotas) to that tenant.
+func submitJob(base, graph, dec, alg, tenant string, threads, maxSweeps int) (string, error) {
 	body, _ := json.Marshal(map[string]any{
 		"graph": graph, "decomposition": dec, "algorithm": alg,
 		"threads": threads, "maxSweeps": maxSweeps,
 	})
-	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest("POST", base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Nucleus-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return "", err
 	}

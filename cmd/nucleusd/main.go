@@ -56,6 +56,11 @@ func run(args []string) error {
 		dataDir    = fs.String("data-dir", "", "directory for durable graph storage (snapshots + WAL); empty disables persistence")
 		walCompact = fs.Int64("wal-compact-threshold", 4, "per-graph WAL size in MiB beyond which the compactor folds the log into a fresh snapshot (0 disables compaction)")
 		progEvery  = fs.Int("progress-every", 1, "publish an anytime progress snapshot every k-th sweep of running jobs (0 disables progress publishing)")
+		// Workload-aware scheduling (see docs/OPERATIONS.md, "Scheduling &
+		// multi-tenancy"): per-tenant quotas and the deadline-less
+		// overload-shedding ceiling.
+		tenantQuota  = fs.Int("tenant-quota", 0, "max queued jobs per tenant (X-Nucleus-Tenant); 0 means the global -queue bound only")
+		maxQueueWait = fs.Duration("max-queue-wait", 0, "shed deadline-less submissions whose predicted queue wait exceeds this (503 + Retry-After); 0 disables the guard")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -94,6 +99,15 @@ func run(args []string) error {
 	if *progEvery < 0 {
 		return fmt.Errorf("-progress-every must be >= 0 (got %d; 0 disables progress publishing)", *progEvery)
 	}
+	if *tenantQuota < 0 {
+		return fmt.Errorf("-tenant-quota must be >= 0 (got %d; 0 applies the global -queue bound only)", *tenantQuota)
+	}
+	if *tenantQuota > *queueDepth {
+		return fmt.Errorf("-tenant-quota (%d) cannot exceed -queue (%d)", *tenantQuota, *queueDepth)
+	}
+	if *maxQueueWait < 0 {
+		return fmt.Errorf("-max-queue-wait must be >= 0 (got %v; 0 disables the overload guard)", *maxQueueWait)
+	}
 	// 0 MiB means "no flat indexes", which the Config encodes as a
 	// negative budget (its zero value selects the 1 GiB default).
 	indexBudget := *indexMem << 20
@@ -127,16 +141,18 @@ func run(args []string) error {
 	}
 
 	srv := root.NewServer(root.ServerConfig{
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		CacheSize:       *cacheSize,
-		JobThreads:      *jobThreads,
-		JobHistory:      *jobHistory,
-		MaxUploadBytes:  *maxUpload << 20,
-		IndexMemBudget:  indexBudget,
-		Store:           st,
-		WALCompactBytes: walThreshold,
-		ProgressEvery:   progressEvery,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		TenantQueueDepth: *tenantQuota,
+		MaxQueueWait:     *maxQueueWait,
+		CacheSize:        *cacheSize,
+		JobThreads:       *jobThreads,
+		JobHistory:       *jobHistory,
+		MaxUploadBytes:   *maxUpload << 20,
+		IndexMemBudget:   indexBudget,
+		Store:            st,
+		WALCompactBytes:  walThreshold,
+		ProgressEvery:    progressEvery,
 	})
 	defer srv.Close()
 

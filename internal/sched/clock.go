@@ -1,0 +1,49 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time so the scheduler's policy — deadline
+// shedding, queue-wait prediction, deficit accounting — is testable
+// under a deterministic simulated clock. The server runs on RealClock;
+// the simulation harness and property tests drive a FakeClock.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+// FakeClock is a manually advanced Clock for deterministic tests. The
+// zero value starts at the zero time; NewFakeClock picks an arbitrary
+// fixed epoch so deadline arithmetic never touches the zero time (which
+// Item treats as "no deadline").
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock returns a FakeClock starting at a fixed non-zero epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the current simulated time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the simulated clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

@@ -1,0 +1,181 @@
+package sched
+
+// FuzzSchedulerDispatch drives the scheduler with arbitrary
+// arrival/deadline/tenant/clock sequences decoded from the fuzz input
+// and checks the invariants the property tests assert on curated
+// scripts: conservation (every admitted item ends exactly one of
+// completed, shed, removed, or still queued), shed-only-when-late, EDF
+// dispatch order within a tenant among coexisting items, per-tenant
+// in-flight quotas, and internal-accounting consistency.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func FuzzSchedulerDispatch(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x11, 0x80, 0x01, 0x23})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x1f, 0x9a, 0x03, 0x77, 0x05, 0x3c, 0x44, 0x08, 0xee, 0x10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		clock := NewFakeClock()
+		var shed []*Item
+		cfg := Config{
+			Workers:           2,
+			MaxQueued:         32,
+			TenantMaxQueued:   16,
+			TenantMaxInFlight: 2,
+			QuantumMs:         8,
+		}
+		s := New(cfg, clock, func(it *Item) { shed = append(shed, it) })
+
+		admitted := map[string]*Item{}
+		queued := map[string]*Item{}
+		inFlight := map[string]*Item{}
+		completed := map[string]*Item{}
+		removed := map[string]*Item{}
+		nextID := 0
+
+		for i := 0; i < len(data); i++ {
+			op := data[i] & 0x07
+			arg := data[i] >> 3
+			switch op {
+			case 0, 1, 2: // enqueue (weighted: arrivals dominate real traffic)
+				it := &Item{
+					ID:          fmt.Sprintf("j%d", nextID),
+					Tenant:      fmt.Sprintf("t%d", arg%3),
+					PredictedMs: float64(1 + arg%13),
+				}
+				nextID++
+				if arg%4 == 1 {
+					// Deadlines from already-expired to comfortably out.
+					it.Deadline = clock.Now().Add(time.Duration(int(arg)-8) * time.Millisecond)
+				}
+				if err := s.Enqueue(it); err == nil {
+					admitted[it.ID] = it
+					queued[it.ID] = it
+				}
+			case 3: // advance the clock
+				clock.Advance(time.Duration(arg) * time.Millisecond)
+			case 4, 5: // dispatch
+				shedBefore := len(shed)
+				it, ok := s.TryNext()
+				for _, sh := range shed[shedBefore:] {
+					if sh.Deadline.IsZero() || !clock.Now().After(sh.Deadline) {
+						t.Fatalf("shed item %s with live deadline (now=%v deadline=%v)",
+							sh.ID, clock.Now(), sh.Deadline)
+					}
+					delete(queued, sh.ID)
+				}
+				if !ok {
+					continue
+				}
+				if _, dup := inFlight[it.ID]; dup {
+					t.Fatalf("item %s dispatched twice", it.ID)
+				}
+				if _, known := queued[it.ID]; !known {
+					t.Fatalf("dispatched item %s that the model says is not queued", it.ID)
+				}
+				delete(queued, it.ID)
+				// EDF within tenant: the dispatched item must be the EDF
+				// minimum of its tenant's still-queued items (DRR picks
+				// the tenant; EDF picks the item).
+				for _, other := range queued {
+					if other.Tenant == it.Tenant && edfLess(other, it) {
+						t.Fatalf("EDF violated: dispatched %s (deadline %v) while %s (deadline %v) queued",
+							it.ID, it.Deadline, other.ID, other.Deadline)
+					}
+				}
+				inFlight[it.ID] = it
+				// Per-tenant in-flight quota.
+				perTenant := 0
+				for _, other := range inFlight {
+					if other.Tenant == it.Tenant {
+						perTenant++
+					}
+				}
+				if perTenant > cfg.TenantMaxInFlight {
+					t.Fatalf("tenant %s has %d in flight, quota %d",
+						it.Tenant, perTenant, cfg.TenantMaxInFlight)
+				}
+			case 6: // complete one in-flight item (map order is fine: any one)
+				for id, it := range inFlight {
+					s.Done(it)
+					delete(inFlight, id)
+					completed[id] = it
+					break
+				}
+			case 7: // remove a queued item by (approximate) id
+				if nextID == 0 {
+					continue
+				}
+				id := fmt.Sprintf("j%d", int(arg)%nextID)
+				if it, ok := s.Remove(id); ok {
+					if _, stillQueued := queued[id]; !stillQueued {
+						t.Fatalf("removed %s, which the model says is not queued", id)
+					}
+					delete(queued, id)
+					removed[id] = it
+				}
+			}
+
+			// Global invariants after every op.
+			st := s.Stats()
+			accounted := len(inFlight) + len(completed) + len(removed) + len(shed) + st.Queued
+			if accounted != len(admitted) {
+				t.Fatalf("conservation violated: admitted=%d inFlight=%d completed=%d removed=%d shed=%d queued=%d",
+					len(admitted), len(inFlight), len(completed), len(removed), len(shed), st.Queued)
+			}
+			if st.InFlight != len(inFlight) {
+				t.Fatalf("scheduler inFlight=%d, model=%d", st.InFlight, len(inFlight))
+			}
+			var tenantQueued int
+			for _, ts := range st.PerTenant {
+				tenantQueued += ts.Queued
+				if ts.Queued < 0 || ts.InFlight < 0 {
+					t.Fatalf("negative tenant accounting: %+v", ts)
+				}
+			}
+			if tenantQueued != st.Queued {
+				t.Fatalf("per-tenant queued %d != global %d", tenantQueued, st.Queued)
+			}
+			if w := s.PredictedWaitMs(); w < 0 {
+				t.Fatalf("negative predicted wait %v", w)
+			}
+		}
+
+		// Drain: everything still queued must come out (or shed), and
+		// conservation must hold at the end. Completing in-flight work
+		// first releases the per-tenant quotas a drain can block on.
+		for id, it := range inFlight {
+			s.Done(it)
+			completed[id] = it
+			delete(inFlight, id)
+		}
+		for {
+			it, ok := s.TryNext()
+			if !ok {
+				break
+			}
+			delete(queued, it.ID)
+			s.Done(it)
+			completed[it.ID] = it
+		}
+		for _, sh := range shed {
+			delete(queued, sh.ID)
+		}
+		if st := s.Stats(); st.Queued != 0 || st.InFlight != 0 {
+			// Queued may legitimately be nonzero if quotas blocked the
+			// drain — but with everything Done, TryNext can only fail on
+			// an empty queue.
+			t.Fatalf("drain left queued=%d inFlight=%d", st.Queued, st.InFlight)
+		}
+		if got := len(completed) + len(removed) + len(shed); got != len(admitted) {
+			t.Fatalf("final conservation: admitted=%d accounted=%d", len(admitted), got)
+		}
+		if len(queued) != 0 {
+			t.Fatalf("model still holds %d queued items after drain", len(queued))
+		}
+	})
+}

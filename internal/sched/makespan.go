@@ -1,15 +1,17 @@
-// Package sched models parallel execution deterministically: given per-cell
-// work weights, it computes the makespan achieved by static or dynamic
-// chunk scheduling over T threads. The paper's scalability results (Figure
-// 1b, §4.4) depend on how evenly work spreads across threads — especially
-// once the notification mechanism leaves islands of active cells — and this
-// model reproduces those shapes independent of the host's core count.
+package sched
+
+// This file is the package's older, unrelated-to-serving half: a
+// deterministic model of parallel execution. Given per-cell work weights
+// it computes the makespan achieved by static or dynamic chunk scheduling
+// over T threads. The paper's scalability results (Figure 1b, §4.4)
+// depend on how evenly work spreads across threads — especially once the
+// notification mechanism leaves islands of active cells — and this model
+// reproduces those shapes independent of the host's core count.
 //
 // Makespan is the primitive; Speedup and Imbalance derive the quantities
 // plotted in the paper, and PeelingModel captures why global peeling
 // cannot scale: its enumeration phase parallelizes but the bucket loop is
 // inherently sequential.
-package sched
 
 // Makespan simulates scheduling the work items (in index order) over
 // `threads` workers and returns the finishing time of the last worker.

@@ -1,0 +1,334 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func item(id, tenant string, predMs float64) *Item {
+	return &Item{ID: id, Tenant: tenant, PredictedMs: predMs}
+}
+
+func TestEnqueueQuotas(t *testing.T) {
+	s := New(Config{MaxQueued: 4, TenantMaxQueued: 2}, NewFakeClock(), nil)
+	if err := s.Enqueue(item("a1", "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(item("a2", "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(item("a3", "a", 1)); err != ErrTenantQuota {
+		t.Fatalf("tenant over quota: got %v want ErrTenantQuota", err)
+	}
+	if err := s.Enqueue(item("b1", "b", 1)); err != nil {
+		t.Fatalf("other tenant must still have room: %v", err)
+	}
+	if err := s.Enqueue(item("b2", "b", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(item("c1", "c", 1)); err != ErrQueueFull {
+		t.Fatalf("global bound: got %v want ErrQueueFull", err)
+	}
+	if got := s.Queued(); got != 4 {
+		t.Fatalf("queued = %d, want 4", got)
+	}
+}
+
+func TestRemoveReleasesAccountingImmediately(t *testing.T) {
+	s := New(Config{MaxQueued: 2}, NewFakeClock(), nil)
+	if err := s.Enqueue(item("x1", "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(item("x2", "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(item("x3", "a", 1)); err != ErrQueueFull {
+		t.Fatalf("got %v want ErrQueueFull", err)
+	}
+	if _, ok := s.Remove("x1"); !ok {
+		t.Fatal("remove of queued item failed")
+	}
+	// The slot must be reusable on the spot, not after a worker skips
+	// the cancelled job.
+	if err := s.Enqueue(item("x3", "a", 1)); err != nil {
+		t.Fatalf("slot not released by Remove: %v", err)
+	}
+	if _, ok := s.Remove("x1"); ok {
+		t.Fatal("double remove succeeded")
+	}
+	if _, ok := s.Remove("nope"); ok {
+		t.Fatal("remove of unknown id succeeded")
+	}
+	// Removing a dispatched item must fail: it is no longer queued.
+	it, ok := s.TryNext()
+	if !ok {
+		t.Fatal("expected a dispatch")
+	}
+	if _, ok := s.Remove(it.ID); ok {
+		t.Fatal("removed an in-flight item")
+	}
+}
+
+func TestPositionIsEDFRank(t *testing.T) {
+	clock := NewFakeClock()
+	s := New(Config{MaxQueued: 8}, clock, nil)
+	base := clock.Now()
+	mk := func(id string, deadlineMs int) *Item {
+		it := item(id, "t", 1)
+		if deadlineMs > 0 {
+			it.Deadline = base.Add(time.Duration(deadlineMs) * time.Millisecond)
+		}
+		return it
+	}
+	for _, it := range []*Item{mk("late", 900), mk("none", 0), mk("soon", 100), mk("mid", 500)} {
+		if err := s.Enqueue(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := map[string]int{"soon": 1, "mid": 2, "late": 3, "none": 4}
+	for id, rank := range want {
+		if got := s.Position(id); got != rank {
+			t.Fatalf("Position(%s) = %d, want %d", id, got, rank)
+		}
+	}
+	if got := s.Position("absent"); got != 0 {
+		t.Fatalf("Position(absent) = %d, want 0", got)
+	}
+}
+
+func TestPredictedWaitAndDrain(t *testing.T) {
+	clock := NewFakeClock()
+	s := New(Config{Workers: 2, MaxQueued: 8}, clock, nil)
+	if got := s.PredictedWaitMs(); got != 0 {
+		t.Fatalf("idle wait = %v, want 0", got)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Enqueue(item(fmt.Sprintf("j%d", i), "t", 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 400ms of backlog over 2 workers.
+	if got := s.DrainMs(); got != 200 {
+		t.Fatalf("drain = %v, want 200", got)
+	}
+	it, ok := s.TryNext()
+	if !ok {
+		t.Fatal("expected dispatch")
+	}
+	// 300ms queued + 100ms in-flight remainder, over 2 workers.
+	if got := s.PredictedWaitMs(); got != 200 {
+		t.Fatalf("wait = %v, want 200", got)
+	}
+	// Half the in-flight item's predicted cost elapses; its remainder
+	// shrinks accordingly.
+	clock.Advance(50 * time.Millisecond)
+	if got := s.PredictedWaitMs(); got != 175 {
+		t.Fatalf("wait after 50ms = %v, want 175", got)
+	}
+	s.Done(it)
+	// One worker idle, but a backlog remains: still a predicted wait.
+	if got := s.PredictedWaitMs(); got != 150 {
+		t.Fatalf("wait after done = %v, want 150", got)
+	}
+}
+
+func TestCloseDrainsQueued(t *testing.T) {
+	s := New(Config{MaxQueued: 8}, NewFakeClock(), nil)
+	for i := 0; i < 3; i++ {
+		if err := s.Enqueue(item(fmt.Sprintf("j%d", i), "t", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, ok := s.TryNext()
+	if !ok {
+		t.Fatal("expected dispatch")
+	}
+	drained := s.Close()
+	if len(drained) != 2 {
+		t.Fatalf("drained %d, want 2", len(drained))
+	}
+	if err := s.Enqueue(item("late", "t", 1)); err != ErrClosed {
+		t.Fatalf("enqueue after close: got %v want ErrClosed", err)
+	}
+	if _, ok := s.TryNext(); ok {
+		t.Fatal("dispatch after close")
+	}
+	s.Done(it) // must not panic after close
+	if again := s.Close(); again != nil {
+		t.Fatalf("second close drained %d items", len(again))
+	}
+}
+
+func TestNextBlocksUntilEnqueue(t *testing.T) {
+	s := New(Config{MaxQueued: 8}, nil, nil)
+	got := make(chan *Item, 1)
+	go func() {
+		it, ok := s.Next()
+		if !ok {
+			got <- nil
+			return
+		}
+		got <- it
+	}()
+	time.Sleep(10 * time.Millisecond) // let Next reach the cond wait
+	if err := s.Enqueue(item("j1", "t", 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case it := <-got:
+		if it == nil || it.ID != "j1" {
+			t.Fatalf("Next returned %+v", it)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not wake on enqueue")
+	}
+}
+
+func TestNextWakesOnClose(t *testing.T) {
+	s := New(Config{MaxQueued: 8}, nil, nil)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := s.Next()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Next returned an item from a closed scheduler")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not wake on close")
+	}
+}
+
+// TestConcurrentSmoke exercises the full API from many goroutines under
+// the race detector: producers enqueueing across tenants with deadlines,
+// workers looping Next/Done, and a meddler calling Remove, Position,
+// Stats and the wait estimators. Correctness here is accounting
+// consistency at the end — every admitted item is exactly one of
+// completed, shed, removed, or drained by Close.
+func TestConcurrentSmoke(t *testing.T) {
+	var completed, shedCount atomic.Int64
+	s := New(Config{Workers: 4, MaxQueued: 256, QuantumMs: 5}, nil,
+		func(*Item) { shedCount.Add(1) })
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				it, ok := s.Next()
+				if !ok {
+					return
+				}
+				time.Sleep(time.Duration(it.PredictedMs) * time.Microsecond)
+				s.Done(it)
+				completed.Add(1)
+			}
+		}()
+	}
+
+	var admitted, removed atomic.Int64
+	var prod sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		prod.Add(1)
+		go func(p int) {
+			defer prod.Done()
+			tenant := fmt.Sprintf("tenant-%d", p)
+			for i := 0; i < 200; i++ {
+				it := item(fmt.Sprintf("%s-%d", tenant, i), tenant, float64(1+i%7))
+				if i%5 == 0 {
+					// A mix of already-expired and future deadlines.
+					it.Deadline = time.Now().Add(time.Duration(i%3-1) * 10 * time.Millisecond)
+				}
+				if err := s.Enqueue(it); err != nil {
+					continue // quota rejections are fine under burst
+				}
+				admitted.Add(1)
+				if i%17 == 0 {
+					if _, ok := s.Remove(it.ID); ok {
+						removed.Add(1)
+					}
+				}
+				s.Position(it.ID)
+				s.PredictedWaitMs()
+			}
+		}(p)
+	}
+	prod.Wait()
+	// Drain: wait until everything admitted is accounted for.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := s.Stats()
+		if st.Queued == 0 && st.InFlight == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	drained := s.Close()
+	wg.Wait()
+
+	total := completed.Load() + shedCount.Load() + removed.Load() + int64(len(drained))
+	if total != admitted.Load() {
+		t.Fatalf("accounting leak: admitted=%d but completed=%d + shed=%d + removed=%d + drained=%d = %d",
+			admitted.Load(), completed.Load(), shedCount.Load(), removed.Load(), len(drained), total)
+	}
+	st := s.Stats()
+	var perTenantAdmitted int64
+	for _, ts := range st.PerTenant {
+		perTenantAdmitted += ts.Admitted
+	}
+	if perTenantAdmitted != st.Admitted {
+		t.Fatalf("per-tenant admitted %d != total %d", perTenantAdmitted, st.Admitted)
+	}
+}
+
+func TestStatsPerTenant(t *testing.T) {
+	s := New(Config{MaxQueued: 16}, NewFakeClock(), nil)
+	for i := 0; i < 3; i++ {
+		if err := s.Enqueue(item(fmt.Sprintf("a%d", i), "a", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := item("b0", "b", 1)
+	it.Degraded = true
+	if err := s.Enqueue(it); err != nil {
+		t.Fatal(err)
+	}
+	s.RecordShed("c")
+	st := s.Stats()
+	if st.Admitted != 4 || st.Queued != 4 || st.Shed != 1 || st.Degraded != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if a := st.PerTenant["a"]; a.Admitted != 3 || a.Queued != 3 {
+		t.Fatalf("tenant a = %+v", a)
+	}
+	if b := st.PerTenant["b"]; b.Degraded != 1 {
+		t.Fatalf("tenant b = %+v", b)
+	}
+	if c := st.PerTenant["c"]; c.Shed != 1 || c.Admitted != 0 {
+		t.Fatalf("tenant c = %+v", c)
+	}
+}
+
+func TestTenantLimit(t *testing.T) {
+	s := New(Config{MaxQueued: maxTenants + 8, TenantMaxQueued: maxTenants + 8}, NewFakeClock(), nil)
+	for i := 0; i < maxTenants; i++ {
+		if err := s.Enqueue(item(fmt.Sprintf("j%d", i), fmt.Sprintf("t%d", i), 1)); err != nil {
+			t.Fatalf("tenant %d rejected: %v", i, err)
+		}
+	}
+	if err := s.Enqueue(item("over", "one-too-many", 1)); err != ErrTenantLimit {
+		t.Fatalf("got %v want ErrTenantLimit", err)
+	}
+	// A known tenant still gets in.
+	if err := s.Enqueue(item("known", "t0", 1)); err != nil {
+		t.Fatalf("known tenant rejected: %v", err)
+	}
+}

@@ -1,0 +1,348 @@
+package sched
+
+// The deterministic simulation harness: scripted jobs with known actual
+// durations run against the real Scheduler on a FakeClock, with virtual
+// workers modeled as busy-until timestamps. Every dispatch and shed is
+// recorded with its simulated timestamp, so the property tests assert
+// fairness, EDF ordering and shed-only-when-late as exact statements
+// about the trace rather than as flaky wall-clock observations.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// simJob scripts one job: predMs is what the scheduler is told (the
+// cost-model estimate), costMs is how long the virtual worker is busy.
+type simJob struct {
+	id     string
+	tenant string
+	predMs float64
+	costMs float64
+	// deadline is relative to the simulation start; 0 means none.
+	deadline time.Duration
+}
+
+type simDispatch struct {
+	item *Item
+	at   time.Time
+}
+
+type simShed struct {
+	item *Item
+	at   time.Time
+}
+
+type simResult struct {
+	start      time.Time
+	dispatches []simDispatch
+	shed       []simShed
+}
+
+// runSim enqueues every job at simulation start (the backlogged regime
+// the fairness property quantifies over) and drives the scheduler event
+// by event: finish due workers, fill free workers via TryNext, advance
+// the fake clock to the next completion. Deterministic by construction —
+// no goroutines, no wall clock.
+func runSim(t *testing.T, cfg Config, jobs []simJob) simResult {
+	t.Helper()
+	clock := NewFakeClock()
+	res := simResult{start: clock.Now()}
+	s := New(cfg, clock, func(it *Item) {
+		res.shed = append(res.shed, simShed{item: it, at: clock.Now()})
+	})
+	for i := range jobs {
+		j := &jobs[i]
+		it := &Item{ID: j.id, Tenant: j.tenant, PredictedMs: j.predMs, Payload: j}
+		if j.deadline > 0 {
+			it.Deadline = res.start.Add(j.deadline)
+		}
+		if err := s.Enqueue(it); err != nil {
+			t.Fatalf("enqueue %s: %v", j.id, err)
+		}
+	}
+
+	workers := cfg.withDefaults().Workers
+	busyUntil := make([]time.Time, workers)
+	running := make([]*Item, workers)
+	for step := 0; ; step++ {
+		if step > 100000 {
+			t.Fatal("simulation did not terminate")
+		}
+		now := clock.Now()
+		busy := 0
+		for w := range running {
+			if running[w] != nil && !busyUntil[w].After(now) {
+				s.Done(running[w])
+				running[w] = nil
+			}
+			if running[w] != nil {
+				busy++
+			}
+		}
+		dispatched := false
+		for w := range running {
+			if running[w] != nil {
+				continue
+			}
+			it, ok := s.TryNext()
+			if !ok {
+				break
+			}
+			j := it.Payload.(*simJob)
+			running[w] = it
+			busyUntil[w] = now.Add(time.Duration(j.costMs * float64(time.Millisecond)))
+			res.dispatches = append(res.dispatches, simDispatch{item: it, at: now})
+			busy++
+			dispatched = true
+		}
+		if dispatched {
+			continue // a freed quota may make more work eligible right now
+		}
+		if busy == 0 {
+			if q := s.Queued(); q != 0 {
+				t.Fatalf("deadlock: %d queued, no workers busy, nothing dispatchable", q)
+			}
+			return res
+		}
+		// Advance to the earliest completion.
+		var next time.Time
+		for w := range running {
+			if running[w] != nil && (next.IsZero() || busyUntil[w].Before(next)) {
+				next = busyUntil[w]
+			}
+		}
+		clock.Advance(next.Sub(now))
+	}
+}
+
+// TestSimFairnessDRR is the fairness property across worker counts
+// {1,2,4,8}: three equally weighted tenants, each backlogged with
+// equal-cost jobs, must receive dispatch shares whose predicted-ms
+// spread never exceeds one quantum plus two max-size jobs (the quantum
+// bound at turn boundaries, widened to cover instants mid-turn) for as
+// long as all three remain backlogged.
+func TestSimFairnessDRR(t *testing.T) {
+	const (
+		perTenant = 120
+		costMs    = 10
+		quantum   = 20
+	)
+	tenants := []string{"a", "b", "c"}
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var jobs []simJob
+			// Interleave tenants in arrival order so no tenant owns the
+			// queue-front by construction.
+			for i := 0; i < perTenant; i++ {
+				for _, tn := range tenants {
+					jobs = append(jobs, simJob{
+						id:     fmt.Sprintf("%s-%d", tn, i),
+						tenant: tn,
+						predMs: costMs,
+						costMs: costMs,
+					})
+				}
+			}
+			res := runSim(t, Config{
+				Workers:   workers,
+				MaxQueued: len(jobs),
+				QuantumMs: quantum,
+			}, jobs)
+			if len(res.shed) != 0 {
+				t.Fatalf("deadline-less jobs shed: %d", len(res.shed))
+			}
+			if len(res.dispatches) != len(jobs) {
+				t.Fatalf("dispatched %d of %d", len(res.dispatches), len(jobs))
+			}
+
+			served := map[string]float64{"a": 0, "b": 0, "c": 0}
+			count := map[string]int{}
+			const bound = quantum + 2*costMs
+			for _, d := range res.dispatches {
+				served[d.item.Tenant] += d.item.PredictedMs
+				count[d.item.Tenant]++
+				allBacklogged := true
+				for _, tn := range tenants {
+					if count[tn] >= perTenant {
+						allBacklogged = false
+					}
+				}
+				if !allBacklogged {
+					continue // drained tenants exit the fairness regime
+				}
+				lo, hi := served[tenants[0]], served[tenants[0]]
+				for _, tn := range tenants[1:] {
+					if served[tn] < lo {
+						lo = served[tn]
+					}
+					if served[tn] > hi {
+						hi = served[tn]
+					}
+				}
+				if hi-lo > bound {
+					t.Fatalf("fairness violated after %d dispatches: served=%v spread=%.0fms > %dms",
+						count["a"]+count["b"]+count["c"], served, hi-lo, bound)
+				}
+			}
+			for _, tn := range tenants {
+				if count[tn] != perTenant {
+					t.Fatalf("tenant %s dispatched %d of %d", tn, count[tn], perTenant)
+				}
+			}
+		})
+	}
+}
+
+// TestSimFairnessMixedCosts re-checks the fairness bound when tenants
+// submit different-sized jobs: the spread bound widens to one quantum
+// plus two maximum job costs, but a tenant of small jobs must not be
+// starved by a tenant of large ones.
+func TestSimFairnessMixedCosts(t *testing.T) {
+	const quantum = 25.0
+	costs := map[string]float64{"small": 5, "medium": 12, "large": 24}
+	perTenant := map[string]int{"small": 240, "medium": 100, "large": 50}
+	var jobs []simJob
+	for i := 0; i < 240; i++ {
+		for tn, n := range perTenant {
+			if i < n {
+				jobs = append(jobs, simJob{
+					id:     fmt.Sprintf("%s-%d", tn, i),
+					tenant: tn,
+					predMs: costs[tn],
+					costMs: costs[tn],
+				})
+			}
+		}
+	}
+	res := runSim(t, Config{Workers: 2, MaxQueued: len(jobs), QuantumMs: quantum}, jobs)
+	if len(res.dispatches) != len(jobs) {
+		t.Fatalf("dispatched %d of %d", len(res.dispatches), len(jobs))
+	}
+	served := map[string]float64{}
+	count := map[string]int{}
+	maxCost := 24.0
+	bound := quantum + 2*maxCost
+	for _, d := range res.dispatches {
+		served[d.item.Tenant] += d.item.PredictedMs
+		count[d.item.Tenant]++
+		allBacklogged := true
+		for tn, n := range perTenant {
+			if count[tn] >= n {
+				allBacklogged = false
+			}
+		}
+		if !allBacklogged {
+			break
+		}
+		lo, hi := served["small"], served["small"]
+		for _, tn := range []string{"medium", "large"} {
+			if served[tn] < lo {
+				lo = served[tn]
+			}
+			if served[tn] > hi {
+				hi = served[tn]
+			}
+		}
+		if hi-lo > bound {
+			t.Fatalf("mixed-cost fairness violated: served=%v spread=%.0f > %.0f", served, hi-lo, bound)
+		}
+	}
+}
+
+// TestSimEDFWithinTenant: one tenant, scrambled deadlines. Dispatch
+// order must be sorted by deadline, with deadline-less jobs last in
+// FIFO order. The quantum is made large so DRR never splits the run and
+// the ordering observed is purely the EDF heap's.
+func TestSimEDFWithinTenant(t *testing.T) {
+	jobs := []simJob{
+		{id: "none-1", tenant: "t", predMs: 1, costMs: 1},
+		{id: "d-300", tenant: "t", predMs: 1, costMs: 1, deadline: 300 * time.Millisecond},
+		{id: "d-100", tenant: "t", predMs: 1, costMs: 1, deadline: 100 * time.Millisecond},
+		{id: "none-2", tenant: "t", predMs: 1, costMs: 1},
+		{id: "d-200", tenant: "t", predMs: 1, costMs: 1, deadline: 200 * time.Millisecond},
+		{id: "d-50", tenant: "t", predMs: 1, costMs: 1, deadline: 50 * time.Millisecond},
+	}
+	res := runSim(t, Config{Workers: 1, MaxQueued: 16, QuantumMs: 1000}, jobs)
+	if len(res.shed) != 0 {
+		t.Fatalf("unexpected sheds: %d (all deadlines are satisfiable)", len(res.shed))
+	}
+	want := []string{"d-50", "d-100", "d-200", "d-300", "none-1", "none-2"}
+	if len(res.dispatches) != len(want) {
+		t.Fatalf("dispatched %d of %d", len(res.dispatches), len(want))
+	}
+	for i, d := range res.dispatches {
+		if d.item.ID != want[i] {
+			got := make([]string, len(res.dispatches))
+			for j, dd := range res.dispatches {
+				got[j] = dd.item.ID
+			}
+			t.Fatalf("EDF order violated: got %v want %v", got, want)
+		}
+	}
+}
+
+// TestSimShedOnlyWhenLate: with one worker pinned by a long job, queued
+// jobs whose deadlines expire mid-wait are shed — and each shed happens
+// strictly after its deadline — while every job whose deadline the
+// backlog can still meet runs to dispatch.
+func TestSimShedOnlyWhenLate(t *testing.T) {
+	jobs := []simJob{
+		// Pins the worker for 100ms. Its deadline is the earliest so EDF
+		// dispatches it first (at +0ms, well before +30ms — deadlines
+		// gate queued jobs, not running ones).
+		{id: "long", tenant: "t", predMs: 100, costMs: 100, deadline: 30 * time.Millisecond},
+		// Expires at +40ms, long before the worker frees: must shed.
+		{id: "late-1", tenant: "t", predMs: 5, costMs: 5, deadline: 40 * time.Millisecond},
+		{id: "late-2", tenant: "t", predMs: 5, costMs: 5, deadline: 60 * time.Millisecond},
+		// Satisfiable: the worker frees at 100ms, deadline is 500ms.
+		{id: "ok-1", tenant: "t", predMs: 5, costMs: 5, deadline: 500 * time.Millisecond},
+		{id: "ok-2", tenant: "t", predMs: 5, costMs: 5},
+	}
+	res := runSim(t, Config{Workers: 1, MaxQueued: 16, QuantumMs: 1000}, jobs)
+
+	shedIDs := map[string]bool{}
+	for _, sh := range res.shed {
+		shedIDs[sh.item.ID] = true
+		if !sh.at.After(sh.item.Deadline) {
+			t.Fatalf("job %s shed at %v, before its deadline %v",
+				sh.item.ID, sh.at.Sub(res.start), sh.item.Deadline.Sub(res.start))
+		}
+	}
+	if !shedIDs["late-1"] || !shedIDs["late-2"] || len(shedIDs) != 2 {
+		t.Fatalf("expected exactly {late-1, late-2} shed, got %v", shedIDs)
+	}
+	dispatchedIDs := map[string]bool{}
+	for _, d := range res.dispatches {
+		dispatchedIDs[d.item.ID] = true
+	}
+	for _, id := range []string{"long", "ok-1", "ok-2"} {
+		if !dispatchedIDs[id] {
+			t.Fatalf("satisfiable job %s was never dispatched (dispatched=%v)", id, dispatchedIDs)
+		}
+	}
+}
+
+// TestSimTenantInFlightQuota: with TenantMaxInFlight=1 and 2 workers, a
+// single backlogged tenant never occupies both workers at once, and a
+// second tenant's arrival can always find a free slot.
+func TestSimTenantInFlightQuota(t *testing.T) {
+	var jobs []simJob
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, simJob{id: fmt.Sprintf("a-%d", i), tenant: "a", predMs: 10, costMs: 10})
+	}
+	res := runSim(t, Config{Workers: 2, MaxQueued: 32, TenantMaxInFlight: 1, QuantumMs: 1000}, jobs)
+	if len(res.dispatches) != len(jobs) {
+		t.Fatalf("dispatched %d of %d", len(res.dispatches), len(jobs))
+	}
+	// With one slot, dispatches must be strictly serialized: each
+	// dispatch time >= previous dispatch time + its cost.
+	for i := 1; i < len(res.dispatches); i++ {
+		prev, cur := res.dispatches[i-1], res.dispatches[i]
+		if cur.at.Sub(prev.at) < 10*time.Millisecond {
+			t.Fatalf("dispatch %d at +%v overlaps previous at +%v despite TenantMaxInFlight=1",
+				i, cur.at.Sub(res.start), prev.at.Sub(res.start))
+		}
+	}
+}

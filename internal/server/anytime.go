@@ -172,7 +172,7 @@ func writeSSEEvent(w io.Writer, event string, v any) {
 
 // terminal reports whether a job state is final.
 func terminal(st JobState) bool {
-	return st == JobDone || st == JobFailed || st == JobCancelled
+	return st == JobDone || st == JobFailed || st == JobCancelled || st == JobShed
 }
 
 // handleJobStream streams a job's anytime progress as server-sent

@@ -77,11 +77,45 @@ type statsResponse struct {
 	Graphs        int              `json:"graphs"`
 	Workers       int              `json:"workers"`
 	Jobs          jobsStats        `json:"jobs"`
+	Scheduler     schedulerStats   `json:"scheduler"`
 	Cache         cacheStats       `json:"cache"`
 	Mutations     mutationStats    `json:"mutations"`
 	Index         indexStats       `json:"index"`
 	Anytime       anytimeStats     `json:"anytime"`
 	Persistence   persistenceStats `json:"persistence"`
+}
+
+// schedulerStats reports the workload-aware dispatch layer (see
+// internal/sched and docs/OPERATIONS.md). PredictedWaitMs is the cost
+// model's estimate of how long a job submitted now would queue.
+type schedulerStats struct {
+	PredictedWaitMs float64                    `json:"predictedWaitMs"`
+	PerTenant       map[string]tenantStatsView `json:"perTenant"`
+	CostModel       costModelStatsView         `json:"costModel"`
+}
+
+// tenantStatsView is one tenant's cumulative admission outcomes plus its
+// live queue occupancy. Admitted counts jobs accepted into the queue;
+// Shed counts refusals (at admission or by dispatch-time deadline
+// expiry); Degraded counts jobs re-budgeted to meet their deadline.
+type tenantStatsView struct {
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+	Degraded int64 `json:"degraded"`
+	InFlight int   `json:"inFlight"`
+	Queued   int   `json:"queued"`
+}
+
+// costModelStatsView reports the observed-cost model: how many
+// (graph version, family, algorithm) keys it has learned, how its
+// predictions split between learned (hits) and cold-prior (misses)
+// answers, and its running mean absolute prediction error.
+type costModelStatsView struct {
+	Entries       int     `json:"entries"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Observations  int64   `json:"observations"`
+	MeanAbsErrPct float64 `json:"meanAbsErrPct"`
 }
 
 // anytimeStats reports the anytime serving surface (see docs/ANYTIME.md).
@@ -139,6 +173,11 @@ type jobsStats struct {
 	Done      int   `json:"done"`
 	Failed    int   `json:"failed"`
 	Cancelled int64 `json:"cancelled"`
+	// Shed counts jobs refused by the admission policy or expired in the
+	// queue (503 + Retry-After); Degraded counts jobs re-budgeted to a
+	// computed maxSweeps so their deadline stayed feasible.
+	Shed     int64 `json:"shed"`
+	Degraded int64 `json:"degraded"`
 }
 
 type cacheStats struct {
@@ -171,6 +210,34 @@ type mutationStats struct {
 	SweepsSaved int64 `json:"sweepsSaved"`
 }
 
+// schedulerStats assembles the /stats scheduler section from the live
+// dispatch queue and the cost model.
+func (s *Server) schedulerStats() schedulerStats {
+	st := s.jobs.sched.Stats()
+	perTenant := make(map[string]tenantStatsView, len(st.PerTenant))
+	for name, ts := range st.PerTenant {
+		perTenant[name] = tenantStatsView{
+			Admitted: ts.Admitted,
+			Shed:     ts.Shed,
+			Degraded: ts.Degraded,
+			InFlight: ts.InFlight,
+			Queued:   ts.Queued,
+		}
+	}
+	cm := s.jobs.cost.Stats()
+	return schedulerStats{
+		PredictedWaitMs: s.jobs.sched.PredictedWaitMs(),
+		PerTenant:       perTenant,
+		CostModel: costModelStatsView{
+			Entries:       cm.Entries,
+			Hits:          cm.Hits,
+			Misses:        cm.Misses,
+			Observations:  cm.Observations,
+			MeanAbsErrPct: cm.MeanAbsErrPct,
+		},
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	queued, running := s.jobs.counts()
 	hits, misses := s.cacheHits.Load(), s.cacheMisses.Load()
@@ -186,7 +253,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Done:      int(s.jobs.completed.Load()),
 			Failed:    int(s.jobs.failed.Load()),
 			Cancelled: s.jobs.cancelled.Load(),
+			Shed:      s.jobs.shed.Load(),
+			Degraded:  s.jobs.degraded.Load(),
 		},
+		Scheduler: s.schedulerStats(),
 		Cache: cacheStats{
 			Hits:     hits,
 			Misses:   misses,
@@ -384,6 +454,17 @@ type jobView struct {
 	Cached      bool      `json:"cached"`
 	Error       string    `json:"error,omitempty"`
 	SubmittedAt time.Time `json:"submittedAt"`
+	// Scheduling facts: the submitting tenant, the requested relative
+	// deadline (0 when none), the cost model's price for the admitted
+	// run, and — while queued — the job's 1-based EDF rank within its
+	// tenant's queue (0 otherwise). Degraded marks a job the admission
+	// policy re-budgeted to meet its deadline; its result reports
+	// converged=false like any sweep-bounded run.
+	Tenant          string  `json:"tenant"`
+	DeadlineMs      int     `json:"deadlineMs,omitempty"`
+	PredictedCostMs float64 `json:"predictedCostMs"`
+	QueuePosition   int     `json:"queuePosition,omitempty"`
+	Degraded        bool    `json:"degraded"`
 	// Result summary; meaningful (non-zero) once State is done. No
 	// omitempty: clients rely on "converged": false being visible for
 	// sweep-bounded approximate runs.
@@ -400,16 +481,24 @@ func viewJob(j *job) jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := jobView{
-		ID:            j.id,
-		Graph:         j.req.Graph,
-		Decomposition: j.req.Decomposition,
-		Algorithm:     j.req.Algorithm,
-		MaxSweeps:     j.req.MaxSweeps,
-		Threads:       j.threads,
-		State:         j.state,
-		Cached:        j.cached,
-		Error:         j.errMsg,
-		SubmittedAt:   j.submitted,
+		ID:              j.id,
+		Graph:           j.req.Graph,
+		Decomposition:   j.req.Decomposition,
+		Algorithm:       j.req.Algorithm,
+		MaxSweeps:       j.req.MaxSweeps,
+		Threads:         j.threads,
+		State:           j.state,
+		Cached:          j.cached,
+		Error:           j.errMsg,
+		SubmittedAt:     j.submitted,
+		Tenant:          j.tenant,
+		DeadlineMs:      j.deadlineMs,
+		PredictedCostMs: j.predictedMs,
+		Degraded:        j.degraded,
+	}
+	if j.state == JobQueued {
+		// Lock order j.mu → scheduler, matching cancel.
+		v.QueuePosition = j.mgr.sched.Position(j.id)
 	}
 	if j.state == JobDone && j.result != nil {
 		v.Cells = len(j.result.Kappa)
@@ -429,11 +518,20 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	j, err := s.jobs.submit(req)
+	deadlineMs, err := queryInt(r, "deadlineMs", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if deadlineMs < 0 {
+		writeError(w, http.StatusBadRequest, "deadlineMs must be non-negative, got %d", deadlineMs)
+		return
+	}
+	j, err := s.jobs.submit(req, r.Header.Get("X-Nucleus-Tenant"), deadlineMs)
 	if err != nil {
 		status := http.StatusBadRequest
 		switch {
-		case errors.Is(err, errQueueFull):
+		case errors.Is(err, errQueueFull), errors.Is(err, errTenantQuota):
 			status = http.StatusTooManyRequests
 		case errors.Is(err, errUnknownGraph):
 			status = http.StatusNotFound
@@ -441,7 +539,16 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, viewJob(j))
+	v := viewJob(j)
+	if v.State == JobShed {
+		// The admission policy refused the job: the deadline (or the
+		// -max-queue-wait ceiling) cannot survive the predicted queue
+		// wait. Retry-After estimates when the backlog will have drained.
+		w.Header().Set("Retry-After", strconv.Itoa(s.jobs.retryAfterSec()))
+		writeJSON(w, http.StatusServiceUnavailable, v)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
@@ -484,6 +591,10 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	case JobCancelled:
 		writeError(w, http.StatusConflict, "job %s was cancelled; its partial result is on GET /jobs/%s/progress", v.ID, v.ID)
+		return
+	case JobShed:
+		w.Header().Set("Retry-After", strconv.Itoa(s.jobs.retryAfterSec()))
+		writeError(w, http.StatusServiceUnavailable, "job %s was shed: %s", v.ID, v.Error)
 		return
 	default:
 		writeError(w, http.StatusConflict, "job %s is %s; poll GET /jobs/%s until done", v.ID, v.State, v.ID)

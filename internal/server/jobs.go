@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -10,12 +11,16 @@ import (
 	"nucleus/internal/localhi"
 	inucleus "nucleus/internal/nucleus"
 	"nucleus/internal/peel"
+	"nucleus/internal/sched"
 )
 
 // JobState is the lifecycle state of a decomposition job:
-// queued → running → done | failed | cancelled. Cache hits jump straight
-// to done; DELETE /jobs/{id} cancels a queued job immediately and a
-// running one cooperatively (at its next sweep boundary).
+// queued → running → done | failed | cancelled, with shed as a second
+// terminal rejection state: a deadline-tagged job whose ?deadlineMs
+// passed (or was predicted to pass) before a worker could start it.
+// Cache hits jump straight to done; DELETE /jobs/{id} cancels a queued
+// job immediately and a running one cooperatively (at its next sweep
+// boundary).
 type JobState string
 
 // Job lifecycle states.
@@ -25,7 +30,12 @@ const (
 	JobDone      JobState = "done"
 	JobFailed    JobState = "failed"
 	JobCancelled JobState = "cancelled"
+	JobShed      JobState = "shed"
 )
+
+// defaultTenant is the tenant of requests without an X-Nucleus-Tenant
+// header.
+const defaultTenant = "default"
 
 // jobRequest is the JSON body of POST /jobs.
 type jobRequest struct {
@@ -46,6 +56,7 @@ type jobRequest struct {
 // job is one decomposition job. Mutable fields are guarded by mu.
 type job struct {
 	id    string
+	mgr   *jobManager
 	req   jobRequest
 	entry *graphEntry
 	key   cacheKey
@@ -55,6 +66,16 @@ type job struct {
 	// algorithms split sweeps across workers and peel runs the parallel
 	// bucket engine.
 	threads int
+	// Scheduler state, fixed at submit: the submitting tenant, the
+	// requested relative deadline (0 = none), its absolute form, the cost
+	// model's estimate for the admitted run, and the model inputs needed
+	// to feed the completion back (size is n+m).
+	tenant      string
+	deadlineMs  int
+	deadline    time.Time
+	predictedMs float64
+	costKey     sched.CostKey
+	size        int64
 
 	// cancel is the cooperative cancellation flag: DELETE /jobs/{id} sets
 	// it, and the running decomposition polls it between sweeps (it is the
@@ -70,6 +91,15 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	result    *decompResult
+	// degraded marks a job the admission policy re-budgeted: its deadline
+	// could not survive the predicted queue wait at full cost, so it was
+	// admitted with a computed maxSweeps anytime budget instead of being
+	// queued to fail.
+	degraded bool
+	// resolved marks the job's per-request cache accounting (exactly one
+	// hit or miss per admitted request) as done. Cancel, shed, shutdown
+	// and run paths can race to resolve; the flag keeps it exactly-once.
+	resolved bool
 	// prog is the progress publisher of the computation currently serving
 	// this job (the owning flight's — shared when this job coalesced onto
 	// another caller's run). Nil while queued, for peel jobs, for cache
@@ -84,11 +114,16 @@ func (j *job) progress() *localhi.Progress {
 	return j.prog
 }
 
-// jobManager owns the bounded queue and the worker pool.
+// jobManager owns the workload-aware scheduler and the worker pool.
 type jobManager struct {
-	s     *Server
-	queue chan *job
-	wg    sync.WaitGroup
+	s  *Server
+	wg sync.WaitGroup
+	// sched is the dispatch queue: deficit-round-robin across tenants,
+	// earliest-deadline-first within one, with per-tenant quotas and
+	// dispatch-time shedding of expired jobs. cost is the observed-cost
+	// model its admission decisions consume.
+	sched *sched.Scheduler
+	cost  *sched.CostModel
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -100,16 +135,25 @@ type jobManager struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	cancelled atomic.Int64
+	shed      atomic.Int64
+	degraded  atomic.Int64
 }
 
-func newJobManager(s *Server, workers, queueDepth int) *jobManager {
+func newJobManager(s *Server) *jobManager {
+	cfg := s.cfg
 	m := &jobManager{
-		s:     s,
-		queue: make(chan *job, queueDepth),
-		jobs:  make(map[string]*job),
+		s:    s,
+		jobs: make(map[string]*job),
+		cost: sched.NewCostModel(0),
 	}
-	m.wg.Add(workers)
-	for i := 0; i < workers; i++ {
+	m.sched = sched.New(sched.Config{
+		Workers:           cfg.Workers,
+		MaxQueued:         cfg.QueueDepth,
+		TenantMaxQueued:   cfg.TenantQueueDepth,
+		TenantMaxInFlight: cfg.TenantInFlight,
+	}, sched.RealClock(), m.onShed)
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
 	}
 	return m
@@ -118,13 +162,22 @@ func newJobManager(s *Server, workers, queueDepth int) *jobManager {
 // errQueueFull reports a full job queue; handlers map it to 429.
 var errQueueFull = fmt.Errorf("job queue is full")
 
+// errTenantQuota reports a full per-tenant queue (other tenants may
+// still have room); handlers map it to 429 like errQueueFull.
+var errTenantQuota = fmt.Errorf("tenant queue quota is full")
+
 // errUnknownGraph reports a job naming an unregistered graph; handlers map
 // it to 404.
 var errUnknownGraph = fmt.Errorf("unknown graph")
 
-// submit validates the request, consults the cache, and either completes
-// the job immediately (cache hit) or enqueues it for the worker pool.
-func (m *jobManager) submit(req jobRequest) (*job, error) {
+// submit validates the request, consults the cache, prices the job with
+// the cost model, and runs the admission policy: complete immediately
+// (cache hit), shed with 503 (deadline or -max-queue-wait already
+// unmeetable — the returned job is in state shed, nil error), degrade to
+// a computed anytime budget (deadline tight but not hopeless), or
+// enqueue on the tenant-fair scheduler. tenant is the X-Nucleus-Tenant
+// header (defaulted); deadlineMs is the ?deadlineMs query (0 = none).
+func (m *jobManager) submit(req jobRequest, tenant string, deadlineMs int) (*job, error) {
 	dec, err := normalizeDec(req.Decomposition)
 	if err != nil {
 		return nil, err
@@ -150,31 +203,30 @@ func (m *jobManager) submit(req jobRequest) (*job, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w %q", errUnknownGraph, req.Graph)
 	}
+	if tenant == "" {
+		tenant = defaultTenant
+	}
 
 	threads := req.Threads
 	if threads <= 0 {
 		threads = m.s.cfg.JobThreads
 	}
 	j := &job{
-		id:        fmt.Sprintf("j%d", m.nextID.Add(1)),
-		req:       req,
-		entry:     entry,
-		key:       cacheKey{entry.name, entry.version, dec, alg, req.MaxSweeps},
-		threads:   threads,
-		state:     JobQueued,
-		submitted: time.Now(),
+		id:         fmt.Sprintf("j%d", m.nextID.Add(1)),
+		mgr:        m,
+		req:        req,
+		entry:      entry,
+		key:        cacheKey{entry.name, entry.version, dec, alg, req.MaxSweeps},
+		threads:    threads,
+		tenant:     tenant,
+		deadlineMs: deadlineMs,
+		state:      JobQueued,
+		submitted:  time.Now(),
 	}
+	j.costKey = sched.CostKey{Graph: entry.name, Version: entry.version, Dec: dec, Alg: alg}
+	j.size = int64(entry.g.N()) + entry.g.M()
 
-	if res, ok := m.s.cache.get(j.key); ok {
-		m.s.cacheHits.Add(1)
-		j.cached = true
-		j.state = JobDone
-		j.result = slimResult(res)
-		j.finished = j.submitted
-		m.track(j)
-		m.submitted.Add(1)
-		m.completed.Add(1)
-		m.prune()
+	if m.finishIfCached(j) {
 		return j, nil
 	}
 	// Not counted as a miss yet: whether this request was ultimately a hit
@@ -183,21 +235,160 @@ func (m *jobManager) submit(req jobRequest) (*job, error) {
 	// the job runs — run() does the accounting, keeping the per-request
 	// invariant hits + misses == resolved requests.
 
+	// Price the job: the full-run estimate, capped by the requested sweep
+	// budget when that budget is the binding constraint.
+	pred := m.cost.Predict(j.costKey, j.size)
+	j.predictedMs = pred.Ms
+	if req.MaxSweeps > 0 && float64(req.MaxSweeps) < pred.Sweeps {
+		j.predictedMs = float64(req.MaxSweeps) * pred.SweepMs
+	}
+
+	wait := m.sched.PredictedWaitMs()
+	if deadlineMs > 0 {
+		if wait >= float64(deadlineMs) {
+			// The deadline cannot survive the queue: shed at submit.
+			m.shedAtSubmit(j, fmt.Sprintf(
+				"shed at admission: predicted queue wait %.0fms exceeds deadline %dms", wait, deadlineMs))
+			return j, nil
+		}
+		if alg != "peel" && wait+j.predictedMs > float64(deadlineMs) {
+			// The job can start before its deadline but not finish a full
+			// run: degrade to the anytime budget that fits the slack
+			// (PR 5 machinery), re-keying the cache slot for the budgeted
+			// result.
+			budget := int((float64(deadlineMs) - wait) / pred.SweepMs)
+			if budget < 1 {
+				budget = 1
+			}
+			if req.MaxSweeps == 0 || budget < req.MaxSweeps {
+				j.req.MaxSweeps = budget
+				j.key = cacheKey{entry.name, entry.version, dec, alg, budget}
+				j.degraded = true
+				j.predictedMs = float64(budget) * pred.SweepMs
+				m.degraded.Add(1)
+				if m.finishIfCached(j) {
+					return j, nil
+				}
+			}
+		}
+		if !j.degraded {
+			// A degraded job is committed best-effort: its budget was sized
+			// to the deadline at admission, so it queues without a dispatch
+			// deadline — shedding it later would turn the client's accepted
+			// approximation into a refusal.
+			j.deadline = j.submitted.Add(time.Duration(deadlineMs) * time.Millisecond)
+		}
+	} else if maxWait := m.s.cfg.MaxQueueWait; maxWait > 0 && wait > float64(maxWait/time.Millisecond) {
+		// Deadline-less overload guard: past the configured queue-wait
+		// ceiling, reject with Retry-After instead of growing the queue.
+		m.shedAtSubmit(j, fmt.Sprintf(
+			"shed at admission: predicted queue wait %.0fms exceeds -max-queue-wait %v", wait, maxWait))
+		return j, nil
+	}
+
+	it := &sched.Item{
+		ID:          j.id,
+		Tenant:      tenant,
+		PredictedMs: j.predictedMs,
+		Deadline:    j.deadline,
+		Degraded:    j.degraded,
+		Payload:     j,
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("server is shutting down")
 	}
-	select {
-	case m.queue <- j:
-	default:
+	if err := m.sched.Enqueue(it); err != nil {
 		m.mu.Unlock()
-		return nil, errQueueFull
+		switch err {
+		case sched.ErrTenantQuota:
+			return nil, fmt.Errorf("%w (tenant %q)", errTenantQuota, tenant)
+		default:
+			// Global bound and the distinct-tenant cap both answer as a
+			// full queue: retry later.
+			return nil, errQueueFull
+		}
 	}
 	m.trackLocked(j)
 	m.mu.Unlock()
 	m.submitted.Add(1)
 	return j, nil
+}
+
+// finishIfCached completes j on the spot when its cache key is already
+// resolved, reporting whether it did.
+func (m *jobManager) finishIfCached(j *job) bool {
+	res, ok := m.s.cache.get(j.key)
+	if !ok {
+		return false
+	}
+	m.s.cacheHits.Add(1)
+	j.resolved = true
+	j.cached = true
+	j.state = JobDone
+	j.result = slimResult(res)
+	j.finished = j.submitted
+	m.track(j)
+	m.submitted.Add(1)
+	m.completed.Add(1)
+	m.prune()
+	return true
+}
+
+// shedAtSubmit finalizes a job the admission policy refused: terminal
+// state shed, tracked (so GET /jobs/{id} explains what happened and the
+// per-tenant counters reconcile with observed 503s), but never admitted
+// to the queue — like a 429, it does not resolve cache accounting.
+func (m *jobManager) shedAtSubmit(j *job, msg string) {
+	j.resolved = true
+	j.state = JobShed
+	j.errMsg = msg
+	j.finished = j.submitted
+	m.track(j)
+	m.submitted.Add(1)
+	m.shed.Add(1)
+	m.sched.RecordShed(j.tenant)
+	m.prune()
+}
+
+// retryAfterSec derives the Retry-After value for shed responses from
+// the predicted time to drain the current backlog, floored at 1s.
+func (m *jobManager) retryAfterSec() int {
+	sec := int(math.Ceil(m.sched.DrainMs() / 1000))
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// onShed is the scheduler's dispatch-time shed callback: a queued item
+// whose deadline expired before a worker could take it. Invoked without
+// the scheduler lock.
+func (m *jobManager) onShed(it *sched.Item) {
+	j := it.Payload.(*job)
+	j.mu.Lock()
+	if j.state == JobQueued {
+		j.state = JobShed
+		j.errMsg = "shed: deadline expired before a worker was available"
+		j.finished = time.Now()
+		m.shed.Add(1)
+	}
+	// The job was admitted (counted toward submitted), so its deferred
+	// cache accounting must resolve — as a miss, like a cancelled queued
+	// job. resolveMissLocked is idempotent against a racing cancel.
+	m.resolveMissLocked(j)
+	j.mu.Unlock()
+	m.prune()
+}
+
+// resolveMissLocked resolves the job's deferred per-request cache
+// accounting as a miss, exactly once. Caller holds j.mu.
+func (m *jobManager) resolveMissLocked(j *job) {
+	if !j.resolved {
+		j.resolved = true
+		m.s.cacheMisses.Add(1)
+	}
 }
 
 func (m *jobManager) track(j *job) {
@@ -230,23 +421,12 @@ func (m *jobManager) list() []*job {
 
 func (m *jobManager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
-		m.mu.Lock()
-		closed := m.closed
-		m.mu.Unlock()
-		if closed {
-			j.mu.Lock()
-			j.state = JobFailed
-			j.errMsg = "server shut down before the job started"
-			j.finished = time.Now()
-			j.mu.Unlock()
-			m.failed.Add(1)
-			// Resolve the deferred accounting even on shutdown, so the
-			// hits+misses invariant holds across Close.
-			m.s.cacheMisses.Add(1)
-			continue
+	for {
+		it, ok := m.sched.Next()
+		if !ok {
+			return
 		}
-		m.run(j)
+		m.run(it)
 	}
 }
 
@@ -264,6 +444,17 @@ func (m *jobManager) cancel(j *job) (running bool, err error) {
 		j.errMsg = "cancelled before start"
 		j.finished = time.Now()
 		m.cancelled.Add(1)
+		// Release the scheduler slot on the spot so the queue capacity is
+		// reusable immediately, not after a worker drains the tombstone.
+		// Lock order is j.mu → scheduler, here and in viewJob.
+		if _, ok := m.sched.Remove(j.id); ok {
+			// The item never reaches a worker: resolve the deferred cache
+			// accounting here.
+			m.resolveMissLocked(j)
+		}
+		// Remove can lose the race with a concurrent dispatch or shed of
+		// the same item; run()/onShed then observes the cancelled state,
+		// drains it, and resolves the accounting instead.
 		return false, nil
 	case JobRunning:
 		j.cancel.Store(true)
@@ -272,14 +463,19 @@ func (m *jobManager) cancel(j *job) (running bool, err error) {
 	return false, fmt.Errorf("job %s is already %s", j.id, j.state)
 }
 
-func (m *jobManager) run(j *job) {
+func (m *jobManager) run(it *sched.Item) {
+	j := it.Payload.(*job)
+	// Done releases the dispatch slot (and the tenant's in-flight quota)
+	// on every exit path.
+	defer m.sched.Done(it)
 	j.mu.Lock()
-	if j.state == JobCancelled {
-		// Cancelled while queued; the worker just drains it. Resolve the
-		// deferred cache accounting (as the shutdown path does) so
-		// hits + misses still equals the number of admitted requests.
+	if j.state != JobQueued {
+		// Cancelled while queued (the cancel lost its Remove race to this
+		// dispatch); the worker just drains it. Resolve the deferred cache
+		// accounting so hits + misses still equals the number of admitted
+		// requests.
+		m.resolveMissLocked(j)
 		j.mu.Unlock()
-		m.s.cacheMisses.Add(1)
 		m.prune()
 		return
 	}
@@ -298,10 +494,24 @@ func (m *jobManager) run(j *job) {
 		})
 	// Deferred per-request cache accounting (see submit): shared covers
 	// both a post-submit cache fill and coalescing onto another caller.
-	if shared {
-		m.s.cacheHits.Add(1)
-	} else {
-		m.s.cacheMisses.Add(1)
+	j.mu.Lock()
+	if !j.resolved {
+		j.resolved = true
+		if shared {
+			m.s.cacheHits.Add(1)
+		} else {
+			m.s.cacheMisses.Add(1)
+		}
+	}
+	j.mu.Unlock()
+
+	// Feed the cost model — full uncoalesced runs only. Shared results,
+	// cancelled/stopped runs and unconverged budgeted runs measure
+	// something other than the full cost of this key, and would teach the
+	// admission policy the wrong price.
+	if err == nil && !shared && !res.Stopped && (j.req.MaxSweeps == 0 || res.Converged) {
+		observedMs := float64(time.Since(j.started)) / float64(time.Millisecond)
+		m.cost.Observe(j.costKey, j.size, j.predictedMs, observedMs, res.Sweeps, res.Updates)
 	}
 
 	j.mu.Lock()
@@ -365,7 +575,7 @@ func (m *jobManager) prune() {
 			j.mu.Lock()
 			st := j.state
 			j.mu.Unlock()
-			if st == JobDone || st == JobFailed || st == JobCancelled {
+			if st == JobDone || st == JobFailed || st == JobCancelled || st == JobShed {
 				evict = i
 				break
 			}
@@ -388,7 +598,20 @@ func (m *jobManager) close() {
 	}
 	m.closed = true
 	m.mu.Unlock()
-	close(m.queue)
+	for _, it := range m.sched.Close() {
+		j := it.Payload.(*job)
+		j.mu.Lock()
+		if j.state == JobQueued {
+			j.state = JobFailed
+			j.errMsg = "server shut down before the job started"
+			j.finished = time.Now()
+			m.failed.Add(1)
+		}
+		// Resolve the deferred accounting even on shutdown, so the
+		// hits+misses invariant holds across Close.
+		m.resolveMissLocked(j)
+		j.mu.Unlock()
+	}
 	m.wg.Wait()
 }
 

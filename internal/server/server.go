@@ -13,7 +13,13 @@
 //     cache from the previous κ (Lemma 2) instead of recomputing cold;
 //   - an asynchronous decomposition job queue backed by a bounded worker
 //     pool over the localhi (AND/SND) and peel engines, with the job
-//     lifecycle queued → running → done|failed|cancelled;
+//     lifecycle queued → running → done|failed|cancelled|shed. Dispatch
+//     is workload-aware (internal/sched): an observed-cost model prices
+//     each job, tenants (X-Nucleus-Tenant) share the pool by deficit
+//     round-robin with per-tenant quotas, jobs within a tenant run
+//     earliest-deadline-first, and ?deadlineMs submissions that cannot
+//     meet their deadline are shed with 503 + Retry-After or degraded to
+//     a computed anytime sweep budget;
 //   - anytime serving of in-flight jobs: running snd/and decompositions
 //     publish copy-on-write τ snapshots with convergence metrics after
 //     every sweep (τ ≥ κ pointwise at all times — Theorem 1 makes partial
@@ -50,6 +56,21 @@ type Config struct {
 	// submissions beyond it are rejected with 429. Values <= 0 default
 	// to 64.
 	QueueDepth int
+	// TenantQueueDepth bounds the queued jobs of a single tenant, so one
+	// client cannot monopolize the shared queue; submissions beyond it are
+	// rejected with 429 while other tenants still have room. Values <= 0
+	// default to QueueDepth (no per-tenant subdivision).
+	TenantQueueDepth int
+	// TenantInFlight bounds how many of one tenant's jobs may run
+	// concurrently. Values <= 0 default to Workers (no per-tenant bound).
+	TenantInFlight int
+	// MaxQueueWait, when positive, sheds deadline-less submissions whose
+	// predicted queue wait exceeds it: they are answered 503 with a
+	// Retry-After instead of joining a queue that is already beyond the
+	// acceptable latency. 0 disables the guard (jobs queue until the
+	// global/tenant depth bounds reject them). Deadline-tagged jobs are
+	// governed by their own ?deadlineMs instead.
+	MaxQueueWait time.Duration
 	// CacheSize is the capacity (entry count) of the LRU decomposition
 	// result cache. Values <= 0 default to 32; use 1 for an effectively
 	// single-entry cache (the cache cannot be disabled entirely, which
@@ -112,6 +133,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.TenantQueueDepth <= 0 {
+		c.TenantQueueDepth = c.QueueDepth
+	}
+	if c.TenantInFlight <= 0 {
+		c.TenantInFlight = c.Workers
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 32
@@ -225,7 +252,7 @@ func New(cfg Config) *Server {
 		store:    cfg.Store,
 		start:    time.Now(),
 	}
-	s.jobs = newJobManager(s, cfg.Workers, cfg.QueueDepth)
+	s.jobs = newJobManager(s)
 	if s.store.Durable() {
 		// Replay persisted snapshots + WALs before the first request can
 		// arrive, then start folding long WALs in the background.

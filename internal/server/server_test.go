@@ -495,7 +495,7 @@ func TestGracefulClose(t *testing.T) {
 	s.Close()
 	s.Close()
 	// Submissions after close are rejected.
-	if _, err := s.jobs.submit(jobRequest{Graph: "g"}); err == nil {
+	if _, err := s.jobs.submit(jobRequest{Graph: "g"}, "", 0); err == nil {
 		t.Fatal("submit after close should fail")
 	}
 }
