@@ -8,6 +8,7 @@ import (
 	"nucleus/internal/localhi"
 	"nucleus/internal/metrics"
 	"nucleus/internal/query"
+	"nucleus/internal/replica"
 	"nucleus/internal/server"
 	"nucleus/internal/store"
 )
@@ -188,3 +189,16 @@ func OpenFSStore(dir string) (GraphStore, error) { return store.OpenFS(dir) }
 // NullGraphStore returns the no-op GraphStore: nothing is persisted and
 // nothing is recovered. It is the default when ServerConfig.Store is nil.
 func NullGraphStore() GraphStore { return store.Null() }
+
+// ReplicationConfig configures a node's place in a replicated fleet
+// (docs/REPLICATION.md): its role, the primary a replica pulls from,
+// the pull cadence and the starting cluster generation. Set it on
+// ServerConfig.Replication; the zero value is a standalone node.
+type ReplicationConfig = server.ReplicationConfig
+
+// Replication roles for ReplicationConfig.Role.
+const (
+	RoleStandalone = replica.RoleStandalone
+	RolePrimary    = replica.RolePrimary
+	RoleReplica    = replica.RoleReplica
+)

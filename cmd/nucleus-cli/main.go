@@ -9,6 +9,8 @@
 //	nucleus-cli snapshot inspect <data-dir>/graphs/<name>/snapshot.nsnap
 //	nucleus-cli watch -server http://localhost:8080 -graph web -dec truss
 //	nucleus-cli watch -server http://localhost:8080 -job j42
+//	nucleus-cli repl status -server http://replica:8081
+//	nucleus-cli repl promote -server http://replica:8081 -generation 2
 package main
 
 import (
@@ -36,6 +38,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "watch" {
 		return runWatch(args[1:], w)
+	}
+	if len(args) > 0 && args[0] == "repl" {
+		return runRepl(args[1:], w)
 	}
 	fs := flag.NewFlagSet("nucleus-cli", flag.ContinueOnError)
 	var (

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	root "nucleus"
+)
+
+// replPair spins a durable primary at generation gen and a replica
+// pulling from it (manual pulls only), both behind httptest.
+func replPair(t *testing.T, gen uint64) (primary, replica *httptest.Server) {
+	t.Helper()
+	node := func(role, primaryURL string) *httptest.Server {
+		st, err := root.OpenFSStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := root.NewServer(root.ServerConfig{
+			Workers: 1,
+			Store:   st,
+			Replication: root.ReplicationConfig{
+				Role:         role,
+				Primary:      primaryURL,
+				Generation:   gen,
+				PullInterval: -1, // pulls only via POST /replication/pull
+			},
+		})
+		ts := httptest.NewServer(srv)
+		t.Cleanup(func() {
+			ts.Close()
+			srv.Close()
+		})
+		return ts
+	}
+	primary = node(root.RolePrimary, "")
+	resp, err := http.Post(primary.URL+"/graphs/g", "text/plain", strings.NewReader("0 1\n1 2\n0 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	replica = node(root.RoleReplica, primary.URL)
+	return primary, replica
+}
+
+func TestReplStatusAndPull(t *testing.T) {
+	primary, replica := replPair(t, 3)
+
+	var sb strings.Builder
+	if err := run([]string{"repl", "status", "-server", primary.URL}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"role:        primary", "generation:  3", "(1 graphs)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("primary status missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "pulls:") {
+		t.Errorf("primary status shows replica-only fields:\n%s", out)
+	}
+
+	// A pull catches the replica up; its status then reports the
+	// primary URL, zero lag, and the shipped bytes.
+	sb.Reset()
+	if err := run([]string{"repl", "pull", "-server", replica.URL}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	for _, want := range []string{"ok: pull", "role:        replica", "lag:         0 versions", "primary:     " + primary.URL} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pull output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplPromoteAndRepoint(t *testing.T) {
+	primary, replica := replPair(t, 1)
+	var sb strings.Builder
+	if err := run([]string{"repl", "pull", "-server", replica.URL}, &sb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promote demands an explicit generation.
+	if err := run([]string{"repl", "promote", "-server", replica.URL}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "-generation is required") {
+		t.Fatalf("promote without -generation: err = %v", err)
+	}
+	// Same-generation promote is refused by the node; the CLI surfaces it.
+	if err := run([]string{"repl", "promote", "-server", replica.URL, "-generation", "1"}, &sb); err == nil {
+		t.Fatal("promote at current generation succeeded; want node refusal")
+	}
+
+	sb.Reset()
+	if err := run([]string{"repl", "promote", "-server", replica.URL, "-generation", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ok: promote", "role:        primary", "generation:  2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("promote output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Repoint demands -primary; repointing the old primary at the new
+	// one is refused (it still claims the primary role).
+	if err := run([]string{"repl", "repoint", "-server", primary.URL}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "-primary is required") {
+		t.Fatalf("repoint without -primary: err = %v", err)
+	}
+	if err := run([]string{"repl", "repoint", "-server", primary.URL, "-primary", replica.URL, "-generation", "2"}, &sb); err == nil {
+		t.Fatal("repoint of a node claiming the primary role succeeded; want refusal")
+	}
+}
+
+func TestReplUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{{"repl"}, {"repl", "bogus"}} {
+		if err := run(args, &sb); err == nil || !strings.Contains(err.Error(), "usage:") {
+			t.Errorf("run(%v): err = %v, want usage error", args, err)
+		}
+	}
+	if err := run([]string{"repl", "status", "-server", "http://127.0.0.1:1"}, &sb); err == nil {
+		t.Error("status against a dead server succeeded")
+	}
+}

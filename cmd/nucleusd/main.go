@@ -29,6 +29,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,7 +63,26 @@ func run(args []string) error {
 		// overload-shedding ceiling.
 		tenantQuota  = fs.Int("tenant-quota", 0, "max queued jobs per tenant (X-Nucleus-Tenant); 0 means the global -queue bound only")
 		maxQueueWait = fs.Duration("max-queue-wait", 0, "shed deadline-less submissions whose predicted queue wait exceeds this (503 + Retry-After); 0 disables the guard")
+		// Replication (see docs/REPLICATION.md): the node's fleet role,
+		// the primary a replica tails, and per-tenant scheduling weights.
+		role         = fs.String("role", "", "replication role: primary, replica, or empty for standalone")
+		primary      = fs.String("primary", "", "base URL of the primary this replica pulls from (requires -role replica)")
+		pullInterval = fs.Duration("pull-interval", time.Second, "replica pull cadence; requires -role replica")
+		generation   = fs.Uint64("generation", 0, "starting cluster generation (0 keeps the default)")
 	)
+	tenantWeights := map[string]int{}
+	fs.Func("tenant-weight", "per-tenant DRR weight as name=K, K >= 1 (repeatable)", func(v string) error {
+		name, k, ok := strings.Cut(v, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want name=K, got %q", v)
+		}
+		w, err := strconv.Atoi(k)
+		if err != nil || w < 1 {
+			return fmt.Errorf("weight for %q must be an integer >= 1, got %q", name, k)
+		}
+		tenantWeights[name] = w
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -108,6 +129,24 @@ func run(args []string) error {
 	if *maxQueueWait < 0 {
 		return fmt.Errorf("-max-queue-wait must be >= 0 (got %v; 0 disables the overload guard)", *maxQueueWait)
 	}
+	switch *role {
+	case "", root.RolePrimary:
+		if *primary != "" {
+			return fmt.Errorf("-primary requires -role replica (got -role %q)", *role)
+		}
+	case root.RoleReplica:
+		if *primary == "" {
+			return errors.New("-role replica requires -primary")
+		}
+		if *dataDir == "" {
+			return errors.New("-role replica requires -data-dir (a replica must be promotable, so it persists what it applies)")
+		}
+		if *pullInterval <= 0 {
+			return fmt.Errorf("-pull-interval must be positive (got %v)", *pullInterval)
+		}
+	default:
+		return fmt.Errorf("-role must be primary, replica, or empty (got %q)", *role)
+	}
 	// 0 MiB means "no flat indexes", which the Config encodes as a
 	// negative budget (its zero value selects the 1 GiB default).
 	indexBudget := *indexMem << 20
@@ -153,6 +192,13 @@ func run(args []string) error {
 		Store:            st,
 		WALCompactBytes:  walThreshold,
 		ProgressEvery:    progressEvery,
+		TenantWeights:    tenantWeights,
+		Replication: root.ReplicationConfig{
+			Role:         *role,
+			Primary:      *primary,
+			Generation:   *generation,
+			PullInterval: *pullInterval,
+		},
 	})
 	defer srv.Close()
 

@@ -1,0 +1,122 @@
+// Package promtext renders the Prometheus text exposition format
+// (version 0.0.4) without depending on the client library: nucleusd and
+// nucleus-router expose a couple of dozen counters and gauges each, and
+// hand-rolling the format keeps the module dependency-free. Only the
+// subset the daemons need is implemented — counter and gauge samples
+// with optional labels, one HELP/TYPE header per metric name.
+package promtext
+
+import (
+	"bytes"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the rendered exposition.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Writer accumulates one exposition. The zero value is ready to use.
+// Samples of one metric name must be emitted consecutively (the format
+// requires it); the convenience methods enforce that naturally because
+// each call writes its header (once) and sample together.
+type Writer struct {
+	buf      bytes.Buffer
+	headered map[string]bool
+}
+
+// header writes the # HELP / # TYPE preamble for name once.
+func (w *Writer) header(name, help, typ string) {
+	if w.headered[name] {
+		return
+	}
+	if w.headered == nil {
+		w.headered = make(map[string]bool)
+	}
+	w.headered[name] = true
+	w.buf.WriteString("# HELP ")
+	w.buf.WriteString(name)
+	w.buf.WriteByte(' ')
+	w.buf.WriteString(escapeHelp(help))
+	w.buf.WriteString("\n# TYPE ")
+	w.buf.WriteString(name)
+	w.buf.WriteByte(' ')
+	w.buf.WriteString(typ)
+	w.buf.WriteByte('\n')
+}
+
+// sample writes one sample line. Labels are rendered in sorted key
+// order so the exposition is deterministic.
+func (w *Writer) sample(name string, labels map[string]string, v float64) {
+	w.buf.WriteString(name)
+	if len(labels) > 0 {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		w.buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				w.buf.WriteByte(',')
+			}
+			w.buf.WriteString(k)
+			w.buf.WriteString(`="`)
+			w.buf.WriteString(escapeLabel(labels[k]))
+			w.buf.WriteByte('"')
+		}
+		w.buf.WriteByte('}')
+	}
+	w.buf.WriteByte(' ')
+	w.buf.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	w.buf.WriteByte('\n')
+}
+
+// Counter emits an unlabeled counter sample (with its header on first
+// use of the name).
+func (w *Writer) Counter(name, help string, v float64) {
+	w.header(name, help, "counter")
+	w.sample(name, nil, v)
+}
+
+// Gauge emits an unlabeled gauge sample.
+func (w *Writer) Gauge(name, help string, v float64) {
+	w.header(name, help, "gauge")
+	w.sample(name, nil, v)
+}
+
+// LabeledCounter emits one labeled counter sample. Successive calls
+// with the same name share one header.
+func (w *Writer) LabeledCounter(name, help string, labels map[string]string, v float64) {
+	w.header(name, help, "counter")
+	w.sample(name, labels, v)
+}
+
+// LabeledGauge emits one labeled gauge sample.
+func (w *Writer) LabeledGauge(name, help string, labels map[string]string, v float64) {
+	w.header(name, help, "gauge")
+	w.sample(name, labels, v)
+}
+
+// Bytes returns the rendered exposition.
+func (w *Writer) Bytes() []byte { return w.buf.Bytes() }
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a HELP text: backslash and newline (quotes are
+// legal there).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,52 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriterFormat(t *testing.T) {
+	var w Writer
+	w.Counter("app_requests_total", "Requests served.", 42)
+	w.Gauge("app_queue_depth", "Jobs queued.", 3)
+	w.LabeledCounter("app_tenant_jobs_total", "Per-tenant jobs.",
+		map[string]string{"tenant": "alpha"}, 7)
+	w.LabeledCounter("app_tenant_jobs_total", "Per-tenant jobs.",
+		map[string]string{"tenant": "beta"}, 9)
+
+	got := string(w.Bytes())
+	want := strings.Join([]string{
+		"# HELP app_requests_total Requests served.",
+		"# TYPE app_requests_total counter",
+		"app_requests_total 42",
+		"# HELP app_queue_depth Jobs queued.",
+		"# TYPE app_queue_depth gauge",
+		"app_queue_depth 3",
+		"# HELP app_tenant_jobs_total Per-tenant jobs.",
+		"# TYPE app_tenant_jobs_total counter",
+		`app_tenant_jobs_total{tenant="alpha"} 7`,
+		`app_tenant_jobs_total{tenant="beta"} 9`,
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriterSortsLabels(t *testing.T) {
+	var w Writer
+	w.LabeledGauge("m", "h", map[string]string{"b": "2", "a": "1"}, 1)
+	got := string(w.Bytes())
+	if !strings.Contains(got, `m{a="1",b="2"} 1`) {
+		t.Errorf("labels not sorted: %q", got)
+	}
+}
+
+func TestWriterEscapesLabelValues(t *testing.T) {
+	var w Writer
+	w.LabeledGauge("m", "h", map[string]string{"p": "a\\b\"c\nd"}, 1)
+	got := string(w.Bytes())
+	if !strings.Contains(got, `m{p="a\\b\"c\nd"} 1`) {
+		t.Errorf("label value not escaped: %q", got)
+	}
+}

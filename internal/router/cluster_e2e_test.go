@@ -1,0 +1,372 @@
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"nucleus/internal/dynamic"
+	"nucleus/internal/graph"
+	"nucleus/internal/replica"
+	"nucleus/internal/sched"
+	"nucleus/internal/server"
+	"nucleus/internal/store"
+)
+
+// e2eDataDir returns a fresh data directory for a cluster test. When
+// NUCLEUS_E2E_DATADIR is set (the CI cluster-e2e job), directories are
+// created under it and retained, so a failing run's per-node snapshots
+// and WALs can be uploaded as a debugging artifact; otherwise t.TempDir
+// cleans up.
+func e2eDataDir(t *testing.T) string {
+	t.Helper()
+	root := os.Getenv("NUCLEUS_E2E_DATADIR")
+	if root == "" {
+		return t.TempDir()
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp(root, strings.ReplaceAll(t.Name(), "/", "_")+"-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// clusterNode is one nucleusd with its own data directory, which
+// survives a "kill" so the node can be resurrected from disk.
+type clusterNode struct {
+	dir string
+	fs  *store.FS
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+func startClusterNode(t *testing.T, dir, role, primaryURL string, gen uint64, clock sched.Clock) *clusterNode {
+	t.Helper()
+	fs, err := store.OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{
+		Workers: 2,
+		Store:   fs,
+		Replication: server.ReplicationConfig{
+			Role:         role,
+			Primary:      primaryURL,
+			Generation:   gen,
+			PullInterval: -1, // the harness drives every pull explicitly
+			Clock:        clock,
+		},
+	})
+	return &clusterNode{dir: dir, fs: fs, srv: srv, ts: httptest.NewServer(srv)}
+}
+
+// kill is SIGKILL semantics: the listener drops and in-flight
+// connections are severed, but nothing is drained or flushed — whatever
+// reached the node's disk is what a restart recovers.
+func (n *clusterNode) kill() {
+	n.ts.CloseClientConnections()
+	n.ts.Close()
+}
+
+// ledger tracks what the cluster acknowledged: the exact version of
+// every acked batch and the resulting edge multiset, from which the
+// test derives its independent κ oracle.
+type ledger struct {
+	edges    map[[2]uint32]bool
+	versions []uint64
+}
+
+func (l *ledger) apply(edits []map[string]any) {
+	for _, e := range edits {
+		u, v := e["u"].(uint32), e["v"].(uint32)
+		if u > v {
+			u, v = v, u
+		}
+		if e["op"] == "add" {
+			l.edges[[2]uint32{u, v}] = true
+		} else {
+			delete(l.edges, [2]uint32{u, v})
+		}
+	}
+}
+
+func (l *ledger) oracleKappa() []int32 {
+	var edges [][2]uint32
+	for e := range l.edges {
+		edges = append(edges, e)
+	}
+	return dynamic.FromStatic(graph.Build(-1, edges)).CoreNumbers()
+}
+
+// TestClusterKillPromoteE2E is the replication acceptance test: a
+// primary is killed mid-mutation-burst, the router promotes the most
+// caught-up replica, and the promoted node serves every acknowledged
+// batch at its exact version with κ bit-identical to an independently
+// computed oracle — warm throughout, with zero cold decompositions on
+// either replica — while the resurrected stale primary is fenced. The
+// harness is fully deterministic: manual pulls, manual health sweeps, a
+// fake clock, no timers.
+func TestClusterKillPromoteE2E(t *testing.T) {
+	base := e2eDataDir(t)
+	for _, d := range []string{"p0", "r0", "r1"} {
+		if err := os.MkdirAll(base+"/"+d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock := sched.NewFakeClock()
+
+	p0 := startClusterNode(t, base+"/p0", replica.RolePrimary, "", 1, clock)
+	r0 := startClusterNode(t, base+"/r0", replica.RoleReplica, p0.ts.URL, 1, clock)
+	r1 := startClusterNode(t, base+"/r1", replica.RoleReplica, p0.ts.URL, 1, clock)
+	t.Cleanup(func() {
+		for _, n := range []*clusterNode{r0, r1} {
+			n.ts.Close()
+			n.srv.Close()
+			n.fs.Close()
+		}
+		p0.srv.Close() // the killed node's Server object, idle since the kill
+		p0.fs.Close()
+	})
+
+	rt, err := New(Config{Groups: []GroupConfig{
+		{Name: "shard0", Primary: p0.ts.URL, Replicas: []string{r0.ts.URL, r1.ts.URL}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt)
+	t.Cleanup(func() { rts.Close(); rt.Stop() })
+
+	led := &ledger{edges: map[[2]uint32]bool{}}
+
+	// --- Seed the graph through the router. ---
+	seed := [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {2, 3}}
+	var up strings.Builder
+	for _, e := range seed {
+		fmt.Fprintf(&up, "%d %d\n", e[0], e[1])
+		led.edges[e] = true
+	}
+	if resp := doReq(t, "POST", rts.URL+"/graphs/g", strings.NewReader(up.String()), nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("seed upload: status %d", resp.StatusCode)
+	}
+
+	// mutate posts one batch through the router and records the ack.
+	mutate := func(edits []map[string]any) uint64 {
+		t.Helper()
+		var sb strings.Builder
+		sb.WriteString(`{"edits":[`)
+		for i, e := range edits {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, `{"op":%q,"u":%d,"v":%d}`, e["op"], e["u"], e["v"])
+		}
+		sb.WriteString(`]}`)
+		var mv struct {
+			Version uint64 `json:"version"`
+		}
+		resp := doReq(t, "POST", rts.URL+"/graphs/g/edges", strings.NewReader(sb.String()), &mv)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mutate via router: status %d", resp.StatusCode)
+		}
+		led.apply(edits)
+		led.versions = append(led.versions, mv.Version)
+		return mv.Version
+	}
+	edit := func(op string, u, v uint32) map[string]any {
+		return map[string]any{"op": op, "u": u, "v": v}
+	}
+
+	// --- Burst phase A: 8 acked batches; r0 pulls often, r1 lags. ---
+	for i := 0; i < 8; i++ {
+		a, b := uint32(i), uint32(i+4)
+		edits := []map[string]any{edit("add", a, b), edit("add", a+1, b)}
+		if i == 5 {
+			edits = append(edits, edit("remove", 0, 1)) // deletions ship too
+		}
+		mutate(edits)
+		if i%2 == 1 {
+			pullNode(t, &backend{ts: r0.ts, srv: r0.srv}) // r0: every 2nd batch
+		}
+		if i == 3 {
+			pullNode(t, &backend{ts: r1.ts, srv: r1.srv}) // r1: once, mid-burst
+		}
+		clock.Advance(time.Millisecond) // simulated time per batch
+	}
+	pullNode(t, &backend{ts: r0.ts, srv: r0.srv}) // r0 fully caught up
+	vKill := led.versions[len(led.versions)-1]
+
+	// --- SIGKILL the primary between acked batches. ---
+	p0.kill()
+
+	// The next write through the router fails — nothing is acked, so the
+	// ledger does not record it.
+	if resp := doReq(t, "POST", rts.URL+"/graphs/g/edges",
+		strings.NewReader(`{"edits":[{"op":"add","u":0,"v":9}]}`), nil); resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("write into dead primary: status %d, want 502", resp.StatusCode)
+	}
+
+	// --- One deterministic health sweep: promote and repoint. ---
+	checks := rt.CheckOnce()
+	if len(checks) != 1 || !checks[0].Promoted {
+		t.Fatalf("failover sweep: %+v", checks)
+	}
+	if checks[0].Primary != "shard0-r0" {
+		t.Fatalf("promoted %s; want shard0-r0, the most caught-up replica (r0 at v%d > r1)", checks[0].Primary, vKill)
+	}
+	if checks[0].Generation != 2 {
+		t.Fatalf("post-promotion generation %d, want 2", checks[0].Generation)
+	}
+
+	// r1 was repointed at r0; one pull catches it up through the new
+	// primary at the exact same versions.
+	ns := pullNode(t, &backend{ts: r1.ts, srv: r1.srv})
+	if ns.Primary != r0.ts.URL {
+		t.Fatalf("r1 pulls from %q, want the promoted primary %q", ns.Primary, r0.ts.URL)
+	}
+	if ns.LagVersions != 0 {
+		t.Fatalf("r1 still lagging after catch-up pull: %+v", ns)
+	}
+
+	// --- Burst phase B continues through the router. ---
+	for i := 0; i < 4; i++ {
+		v := mutate([]map[string]any{edit("add", uint32(i), uint32(i+9))})
+		if want := vKill + uint64(i+1); v != want {
+			t.Fatalf("post-failover batch %d acked at version %d, want %d — the version history forked", i, v, want)
+		}
+	}
+	pullNode(t, &backend{ts: r1.ts, srv: r1.srv})
+	vFinal := led.versions[len(led.versions)-1]
+
+	// --- Every acked batch, at its exact version. ---
+	var pg, rg struct {
+		N       int    `json:"n"`
+		M       int64  `json:"m"`
+		Version uint64 `json:"version"`
+	}
+	doReq(t, "GET", r0.ts.URL+"/graphs/g", nil, &pg)
+	doReq(t, "GET", r1.ts.URL+"/graphs/g", nil, &rg)
+	if pg.Version != vFinal || rg.Version != vFinal {
+		t.Fatalf("versions after burst: promoted=%d replica=%d, want %d", pg.Version, rg.Version, vFinal)
+	}
+	oracle := led.oracleKappa()
+	if pg.N != len(oracle) || int64(len(led.edges)) != pg.M {
+		t.Fatalf("promoted graph n=%d m=%d; oracle n=%d m=%d", pg.N, pg.M, len(oracle), len(led.edges))
+	}
+
+	// --- κ bit-identical to the oracle, on both surviving nodes. ---
+	for _, nd := range []struct {
+		label string
+		url   string
+	}{{"promoted", r0.ts.URL}, {"replica", r1.ts.URL}} {
+		var cl struct {
+			Maintained  bool    `json:"maintained"`
+			CoreNumbers []int32 `json:"coreNumbers"`
+		}
+		var q strings.Builder
+		for v := 0; v < len(oracle); v++ {
+			if v > 0 {
+				q.WriteByte('&')
+			}
+			fmt.Fprintf(&q, "v=%d", v)
+		}
+		if resp := doReq(t, "GET", nd.url+"/graphs/g/core?"+q.String(), nil, &cl); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s core lookup: status %d", nd.label, resp.StatusCode)
+		}
+		if !cl.Maintained {
+			t.Fatalf("%s κ not incrementally maintained", nd.label)
+		}
+		for i := range oracle {
+			if cl.CoreNumbers[i] != oracle[i] {
+				t.Fatalf("%s κ[%d] = %d, oracle says %d", nd.label, i, cl.CoreNumbers[i], oracle[i])
+			}
+		}
+	}
+
+	// --- Reads through the router stay warm: zero cold decompositions
+	// on both replicas across the whole scenario. ---
+	var dec struct {
+		Converged bool `json:"converged"`
+	}
+	if resp := doReq(t, "GET", rts.URL+"/graphs/g/decompose?dec=core&alg=and", nil, &dec); resp.StatusCode != http.StatusOK || !dec.Converged {
+		t.Fatalf("decompose through router: status %d converged=%v", resp.StatusCode, dec.Converged)
+	}
+	for _, nd := range []struct {
+		label string
+		url   string
+	}{{"promoted", r0.ts.URL}, {"replica", r1.ts.URL}} {
+		var st struct {
+			Mutations struct {
+				ColdRuns int64 `json:"coldRuns"`
+			} `json:"mutations"`
+		}
+		doReq(t, "GET", nd.url+"/stats", nil, &st)
+		if st.Mutations.ColdRuns != 0 {
+			t.Fatalf("%s paid %d cold decompositions; replication must keep κ warm", nd.label, st.Mutations.ColdRuns)
+		}
+	}
+
+	// --- The stale primary resurrects from its own disk and is fenced. ---
+	res := server.New(server.Config{
+		Workers: 2,
+		Store:   p0.fs, // same store, same disk state — the dead node reborn
+		Replication: server.ReplicationConfig{
+			Role:       replica.RolePrimary,
+			Generation: 1, // it never learned of the promotion
+		},
+	})
+	rests := httptest.NewServer(res)
+	t.Cleanup(func() { rests.Close(); res.Close() })
+
+	// It recovered only what reached its disk before the kill.
+	var og struct {
+		Version uint64 `json:"version"`
+	}
+	doReq(t, "GET", rests.URL+"/graphs/g", nil, &og)
+	if og.Version != vKill {
+		t.Fatalf("resurrected primary at version %d, want its pre-kill %d", og.Version, vKill)
+	}
+	// A generation-2 stamped write — what the router would send now —
+	// is fenced with 409 and leaves no trace.
+	req, _ := http.NewRequest("POST", rests.URL+"/graphs/g/edges", strings.NewReader(`{"edits":[{"op":"add","u":0,"v":9}]}`))
+	req.Header.Set(replica.GenerationHeader, "2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("resurrected stale primary accepted a new-epoch write: status %d, want 409", resp.StatusCode)
+	}
+	doReq(t, "GET", rests.URL+"/graphs/g", nil, &og)
+	if og.Version != vKill {
+		t.Fatalf("fenced write advanced the stale primary to version %d", og.Version)
+	}
+	// And pulling from it is refused as a stale source.
+	if resp := doReq(t, "POST", r1.ts.URL+"/replication/repoint",
+		strings.NewReader(fmt.Sprintf(`{"primary":%q}`, rests.URL)), nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("repoint r1 at stale primary: status %d", resp.StatusCode)
+	}
+	var pns replica.NodeStatus
+	if resp := doReq(t, "POST", r1.ts.URL+"/replication/pull", nil, &pns); resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("pull from stale source: status %d, want 502", resp.StatusCode)
+	}
+	if pns.StalePulls == 0 {
+		t.Fatalf("stale-source pull not counted: %+v", pns)
+	}
+	// Repoint home; the fleet is healthy again.
+	if resp := doReq(t, "POST", r1.ts.URL+"/replication/repoint",
+		strings.NewReader(fmt.Sprintf(`{"primary":%q,"generation":2}`, r0.ts.URL)), nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("repoint r1 home: status %d", resp.StatusCode)
+	}
+	if ns := pullNode(t, &backend{ts: r1.ts, srv: r1.srv}); ns.LagVersions != 0 {
+		t.Fatalf("r1 lagging after rejoining: %+v", ns)
+	}
+}

@@ -1,0 +1,69 @@
+package router
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestDocsRoutesConsistency is the router's docs drift gate, the twin
+// of internal/server's: every route registered in routes() must appear
+// in a `### ` heading of docs/REPLICATION.md's endpoint reference, and
+// every route documented there must still be registered. The heading
+// convention is one or more backtick-quoted "METHOD /path" per heading
+// (query strings ignored).
+func TestDocsRoutesConsistency(t *testing.T) {
+	src, err := os.ReadFile("router.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	registered := map[string]bool{}
+	for _, m := range regexp.MustCompile(`mux\.HandleFunc\("([A-Z]+ [^"]+)"`).FindAllStringSubmatch(string(src), -1) {
+		registered[m[1]] = true
+	}
+	if len(registered) == 0 {
+		t.Fatal("no routes found in router.go; did routes() move?")
+	}
+
+	doc, err := os.ReadFile("../../docs/REPLICATION.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	routeRe := regexp.MustCompile("`(GET|POST|PUT|DELETE|PATCH) (/[^`\\s?\\[]*)")
+	for _, line := range strings.Split(string(doc), "\n") {
+		if !strings.HasPrefix(line, "### ") {
+			continue
+		}
+		for _, m := range routeRe.FindAllStringSubmatch(line, -1) {
+			documented[m[1]+" "+m[2]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no route headings found in docs/REPLICATION.md; did the heading convention change?")
+	}
+
+	var missing, stale []string
+	for r := range registered {
+		if !documented[r] {
+			missing = append(missing, r)
+		}
+	}
+	for r := range documented {
+		if !registered[r] {
+			stale = append(stale, r)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	if len(missing) > 0 {
+		t.Errorf("routes registered in internal/router but missing from docs/REPLICATION.md headings:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+	if len(stale) > 0 {
+		t.Errorf("routes documented in docs/REPLICATION.md but not registered in internal/router:\n  %s",
+			strings.Join(stale, "\n  "))
+	}
+}

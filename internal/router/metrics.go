@@ -1,0 +1,58 @@
+package router
+
+import (
+	"net/http"
+	"time"
+
+	"nucleus/internal/promtext"
+	"nucleus/internal/replica"
+)
+
+// handleMetrics serves GET /metrics: the router's proxy counters and
+// the fleet topology it believes in, in Prometheus text format. A
+// promotion shows up as nucleusrouter_group_generation ticking up and
+// the role labels flipping on nucleusrouter_node_primary.
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var p promtext.Writer
+
+	p.Gauge("nucleusrouter_uptime_seconds", "Seconds since the router started.",
+		time.Since(rt.start).Seconds())
+	p.Counter("nucleusrouter_requests_total", "HTTP requests received.", float64(rt.requests.Load()))
+	p.Counter("nucleusrouter_proxied_reads_total", "Read requests proxied to replicas.", float64(rt.proxiedReads.Load()))
+	p.Counter("nucleusrouter_proxied_writes_total", "Mutations proxied to group primaries.", float64(rt.proxiedWrites.Load()))
+	p.Counter("nucleusrouter_proxy_errors_total", "Proxied requests that failed in transit.", float64(rt.proxyErrors.Load()))
+	p.Counter("nucleusrouter_fenced_writes_total", "Proxied writes a node's generation fence rejected.", float64(rt.fencedWrites.Load()))
+	p.Counter("nucleusrouter_jobs_routed_total", "Job requests routed by node-suffixed id.", float64(rt.jobsRouted.Load()))
+	p.Counter("nucleusrouter_checks_total", "Fleet health sweeps performed.", float64(rt.checks.Load()))
+	p.Counter("nucleusrouter_failed_checks_total", "Group checks that ended degraded.", float64(rt.failedChecks.Load()))
+	p.Counter("nucleusrouter_promotions_total", "Replica promotions this router performed.", float64(rt.promotions.Load()))
+	p.Gauge("nucleusrouter_groups", "Configured shard groups.", float64(len(rt.groups)))
+
+	healthy := 0
+	for _, gv := range rt.groupViews() {
+		gl := map[string]string{"group": gv.Name}
+		p.LabeledGauge("nucleusrouter_group_generation", "Cluster generation the router stamps on this group's writes.", gl, float64(gv.Generation))
+		for _, nv := range gv.Nodes {
+			if nv.Healthy {
+				healthy++
+			}
+			nl := map[string]string{"group": gv.Name, "node": nv.Name}
+			h := 0.0
+			if nv.Healthy {
+				h = 1
+			}
+			p.LabeledGauge("nucleusrouter_node_healthy", "1 when the node's last probe or proxy succeeded.", nl, h)
+			pr := 0.0
+			if nv.Role == replica.RolePrimary {
+				pr = 1
+			}
+			p.LabeledGauge("nucleusrouter_node_primary", "1 for the node the router treats as the group's primary.", nl, pr)
+			p.LabeledGauge("nucleusrouter_node_max_version", "Highest graph version the node reported on its last probe.", nl, float64(nv.MaxVersion))
+		}
+	}
+	p.Gauge("nucleusrouter_nodes_healthy", "Fleet nodes whose last contact succeeded.", float64(healthy))
+
+	w.Header().Set("Content-Type", promtext.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(p.Bytes())
+}

@@ -98,6 +98,11 @@ type Config struct {
 	// <= 0 defaults to 250. Smaller quanta interleave tenants more
 	// finely; the fairness bound is one quantum plus one job.
 	QuantumMs float64
+	// TenantWeights scales the DRR quantum per tenant: a weight-K tenant
+	// earns K quanta of predicted-ms credit per rotation turn, so while
+	// backlogged it drains at K× a weight-1 tenant's rate. Unlisted
+	// tenants (and weights < 1) get weight 1.
+	TenantWeights map[string]int
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +131,7 @@ type TenantStats struct {
 	Degraded int64
 	InFlight int
 	Queued   int
+	Weight   int
 }
 
 // Stats is a consistent snapshot of the scheduler.
@@ -150,6 +156,10 @@ type tenantQueue struct {
 	deficit    float64
 	turnActive bool
 	inFlight   int
+	// weight scales the per-turn quantum; resolved once at queue
+	// creation so the dispatch hot path stays map-lookup- and
+	// allocation-free.
+	weight float64
 
 	admitted int64
 	shed     int64
@@ -205,6 +215,15 @@ func New(cfg Config, clock Clock, onShed func(*Item)) *Scheduler {
 	return s
 }
 
+// weightFor resolves a tenant's configured DRR weight, flooring at 1 so
+// a misconfigured zero or negative weight cannot starve the tenant.
+func (s *Scheduler) weightFor(tenant string) float64 {
+	if w, ok := s.cfg.TenantWeights[tenant]; ok && w > 1 {
+		return float64(w)
+	}
+	return 1
+}
+
 // Enqueue admits an item, or rejects it with ErrQueueFull,
 // ErrTenantQuota, ErrTenantLimit or ErrClosed. The item must not be
 // re-enqueued while it is still queued or in flight.
@@ -222,7 +241,7 @@ func (s *Scheduler) Enqueue(it *Item) error {
 		if len(s.tenants) >= maxTenants {
 			return ErrTenantLimit
 		}
-		t = &tenantQueue{name: it.Tenant}
+		t = &tenantQueue{name: it.Tenant, weight: s.weightFor(it.Tenant)}
 		s.tenants[it.Tenant] = t
 	}
 	if len(t.heap) >= s.cfg.TenantMaxQueued {
@@ -256,7 +275,7 @@ func (s *Scheduler) RecordShed(tenantName string) {
 	if t, ok := s.tenants[tenantName]; ok {
 		t.shed++
 	} else if len(s.tenants) < maxTenants {
-		s.tenants[tenantName] = &tenantQueue{name: tenantName, shed: 1}
+		s.tenants[tenantName] = &tenantQueue{name: tenantName, weight: s.weightFor(tenantName), shed: 1}
 	}
 	s.shedded++
 }
@@ -356,7 +375,7 @@ func (s *Scheduler) dispatchLocked() (*Item, []*Item) {
 				continue
 			}
 			if !t.turnActive {
-				t.deficit += s.cfg.QuantumMs
+				t.deficit += s.cfg.QuantumMs * t.weight
 				t.turnActive = true
 				progress = true
 			}
@@ -518,6 +537,7 @@ func (s *Scheduler) Stats() Stats {
 			Degraded: t.degraded,
 			InFlight: t.inFlight,
 			Queued:   len(t.heap),
+			Weight:   int(t.weight),
 		}
 	}
 	return st

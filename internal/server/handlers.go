@@ -83,6 +83,56 @@ type statsResponse struct {
 	Index         indexStats       `json:"index"`
 	Anytime       anytimeStats     `json:"anytime"`
 	Persistence   persistenceStats `json:"persistence"`
+	Replication   replicationStats `json:"replication"`
+}
+
+// replicationStats reports the node's place in a replicated deployment
+// (see docs/REPLICATION.md). On a replica the lag/pull fields mirror
+// GET /replication/status; FencedWrites counts writes rejected by the
+// generation fence and Promotions counts replica→primary transitions
+// this process performed.
+type replicationStats struct {
+	Role       string `json:"role"`
+	Generation uint64 `json:"generation"`
+	MaxVersion uint64 `json:"maxVersion"`
+	// Replica-only pull progress (zero values elsewhere).
+	Primary            string  `json:"primary,omitempty"`
+	LagVersions        int64   `json:"lagVersions"`
+	LagMs              float64 `json:"lagMs"`
+	Pulls              int64   `json:"pulls"`
+	PullErrors         int64   `json:"pullErrors"`
+	StalePulls         int64   `json:"stalePulls"`
+	BytesPulled        int64   `json:"bytesPulled"`
+	SnapshotsInstalled int64   `json:"snapshotsInstalled"`
+	BatchesApplied     int64   `json:"batchesApplied"`
+	DuplicatesSkipped  int64   `json:"duplicatesSkipped"`
+	FencedWrites       int64   `json:"fencedWrites"`
+	Promotions         int64   `json:"promotions"`
+	LastError          string  `json:"lastError,omitempty"`
+}
+
+// replicationStats assembles the /stats replication section from the
+// node status and the fence counters.
+func (s *Server) replicationStats() replicationStats {
+	ns := s.nodeStatus()
+	return replicationStats{
+		Role:               ns.Role,
+		Generation:         ns.Generation,
+		MaxVersion:         ns.MaxVersion,
+		Primary:            ns.Primary,
+		LagVersions:        ns.LagVersions,
+		LagMs:              ns.LagMs,
+		Pulls:              ns.Pulls,
+		PullErrors:         ns.PullErrors,
+		StalePulls:         ns.StalePulls,
+		BytesPulled:        ns.BytesPulled,
+		SnapshotsInstalled: ns.SnapshotsInstalled,
+		BatchesApplied:     ns.BatchesApplied,
+		DuplicatesSkipped:  ns.DuplicatesSkipped,
+		FencedWrites:       s.fencedWrites.Load(),
+		Promotions:         s.promotions.Load(),
+		LastError:          ns.LastError,
+	}
 }
 
 // schedulerStats reports the workload-aware dispatch layer (see
@@ -98,12 +148,15 @@ type schedulerStats struct {
 // live queue occupancy. Admitted counts jobs accepted into the queue;
 // Shed counts refusals (at admission or by dispatch-time deadline
 // expiry); Degraded counts jobs re-budgeted to meet their deadline.
+// Weight is the tenant's deficit-round-robin weight (-tenant-weight; 1
+// unless configured higher).
 type tenantStatsView struct {
 	Admitted int64 `json:"admitted"`
 	Shed     int64 `json:"shed"`
 	Degraded int64 `json:"degraded"`
 	InFlight int   `json:"inFlight"`
 	Queued   int   `json:"queued"`
+	Weight   int   `json:"weight"`
 }
 
 // costModelStatsView reports the observed-cost model: how many
@@ -222,6 +275,7 @@ func (s *Server) schedulerStats() schedulerStats {
 			Degraded: ts.Degraded,
 			InFlight: ts.InFlight,
 			Queued:   ts.Queued,
+			Weight:   ts.Weight,
 		}
 	}
 	cm := s.jobs.cost.Stats()
@@ -295,6 +349,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Compactions:     s.compactions.Load(),
 			Errors:          s.persistErrors.Load(),
 		},
+		Replication: s.replicationStats(),
 	})
 }
 
@@ -333,6 +388,9 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
+	if !s.admitWrite(w, r) {
+		return
+	}
 	name := r.PathValue("name")
 	format := r.URL.Query().Get("format")
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
@@ -380,6 +438,9 @@ func (s *Server) registerGraph(w http.ResponseWriter, name, source string, g *gr
 }
 
 func (s *Server) handleGenerateGraph(w http.ResponseWriter, r *http.Request) {
+	if !s.admitWrite(w, r) {
+		return
+	}
 	name := r.PathValue("name")
 	var req generateRequest
 	if !decodeJSON(w, r, &req) {
@@ -403,6 +464,9 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	if !s.admitWrite(w, r) {
+		return
+	}
 	name := r.PathValue("name")
 	// Existence pre-check before creating a per-name mutation lock (same
 	// rationale as the mutation path: junk names must not allocate locks).

@@ -151,6 +151,7 @@ func newJobManager(s *Server) *jobManager {
 		MaxQueued:         cfg.QueueDepth,
 		TenantMaxQueued:   cfg.TenantQueueDepth,
 		TenantMaxInFlight: cfg.TenantInFlight,
+		TenantWeights:     cfg.TenantWeights,
 	}, sched.RealClock(), m.onShed)
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {

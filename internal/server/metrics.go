@@ -1,0 +1,116 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"nucleus/internal/promtext"
+	"nucleus/internal/replica"
+)
+
+// handleMetrics serves GET /metrics: the /stats counters in Prometheus
+// text exposition format (rendered by internal/promtext — no client
+// library), plus the replication series a fleet dashboard needs — lag
+// in versions and milliseconds, shipped bytes, promotions and fenced
+// writes. Series names are stable API; docs/OPERATIONS.md lists the
+// ones alerts should watch.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var p promtext.Writer
+
+	p.Gauge("nucleusd_uptime_seconds", "Seconds since the server started.",
+		time.Since(s.start).Seconds())
+	p.Counter("nucleusd_requests_total", "HTTP requests received.",
+		float64(s.requests.Load()))
+	p.Gauge("nucleusd_graphs", "Graphs currently registered.",
+		float64(s.reg.count()))
+	p.Gauge("nucleusd_workers", "Decomposition worker pool size.",
+		float64(s.cfg.Workers))
+
+	queued, running := s.jobs.counts()
+	p.Counter("nucleusd_jobs_submitted_total", "Jobs submitted.", float64(s.jobs.submitted.Load()))
+	p.Counter("nucleusd_jobs_done_total", "Jobs completed.", float64(s.jobs.completed.Load()))
+	p.Counter("nucleusd_jobs_failed_total", "Jobs failed.", float64(s.jobs.failed.Load()))
+	p.Counter("nucleusd_jobs_cancelled_total", "Jobs cancelled.", float64(s.jobs.cancelled.Load()))
+	p.Counter("nucleusd_jobs_shed_total", "Jobs shed by the admission policy or deadline expiry.", float64(s.jobs.shed.Load()))
+	p.Counter("nucleusd_jobs_degraded_total", "Jobs re-budgeted to meet their deadline.", float64(s.jobs.degraded.Load()))
+	p.Gauge("nucleusd_jobs_queued", "Jobs currently queued.", float64(queued))
+	p.Gauge("nucleusd_jobs_running", "Jobs currently running.", float64(running))
+
+	p.Gauge("nucleusd_sched_predicted_wait_ms", "Cost model's queue-wait estimate for a job submitted now.",
+		s.jobs.sched.PredictedWaitMs())
+	for name, ts := range s.jobs.sched.Stats().PerTenant {
+		l := map[string]string{"tenant": name}
+		p.LabeledCounter("nucleusd_tenant_admitted_total", "Jobs admitted, per tenant.", l, float64(ts.Admitted))
+		p.LabeledCounter("nucleusd_tenant_shed_total", "Jobs shed, per tenant.", l, float64(ts.Shed))
+		p.LabeledCounter("nucleusd_tenant_degraded_total", "Jobs degraded, per tenant.", l, float64(ts.Degraded))
+		p.LabeledGauge("nucleusd_tenant_queued", "Jobs queued, per tenant.", l, float64(ts.Queued))
+		p.LabeledGauge("nucleusd_tenant_in_flight", "Jobs running, per tenant.", l, float64(ts.InFlight))
+		p.LabeledGauge("nucleusd_tenant_weight", "Deficit-round-robin weight, per tenant.", l, float64(ts.Weight))
+	}
+
+	hits, misses := s.cacheHits.Load(), s.cacheMisses.Load()
+	p.Counter("nucleusd_cache_hits_total", "Decomposition cache hits (including coalesced requests).", float64(hits))
+	p.Counter("nucleusd_cache_misses_total", "Decomposition cache misses.", float64(misses))
+	p.Gauge("nucleusd_cache_entries", "Decomposition cache entries.", float64(s.cache.len()))
+
+	p.Counter("nucleusd_mutation_batches_total", "Edge-mutation batches published.", float64(s.mutBatches.Load()))
+	p.Counter("nucleusd_mutation_edits_applied_total", "Edge edits applied.", float64(s.mutApplied.Load()))
+	p.Counter("nucleusd_mutation_edits_ignored_total", "No-op edge edits.", float64(s.mutIgnored.Load()))
+	p.Counter("nucleusd_warm_runs_total", "Warm-started reconvergence runs.", float64(s.warmRuns.Load()))
+	p.Counter("nucleusd_cold_runs_total", "Cold full decompositions executed.", float64(s.coldRuns.Load()))
+	p.Counter("nucleusd_warm_sweeps_total", "Sweeps spent by warm runs.", float64(s.warmSweeps.Load()))
+	p.Counter("nucleusd_sweeps_saved_total", "Sweeps saved by warm starts vs their cold seeds.", float64(s.sweepsSaved.Load()))
+
+	p.Counter("nucleusd_index_builds_total", "Flat s-clique indexes built.", float64(s.idxBuilds.Load()))
+	p.Counter("nucleusd_index_reuses_total", "Instance memo reuses.", float64(s.idxReuses.Load()))
+	p.Counter("nucleusd_index_fallbacks_total", "Instances built without a flat index.", float64(s.idxFallbacks.Load()))
+	p.Counter("nucleusd_index_bytes_total", "Bytes of flat indexes built.", float64(s.idxBytes.Load()))
+
+	p.Counter("nucleusd_progress_snapshots_total", "Anytime τ snapshots published.", float64(s.progressSnaps.Load()))
+	p.Counter("nucleusd_sse_streams_total", "SSE progress streams served.", float64(s.sseStreams.Load()))
+	p.Counter("nucleusd_budgeted_queries_total", "Budgeted synchronous decompositions admitted.", float64(s.budgetedQueries.Load()))
+	p.Counter("nucleusd_deadline_stops_total", "Budgeted runs ended by their wall-clock deadline.", float64(s.deadlineStops.Load()))
+
+	persistEnabled := 0.0
+	if s.store.Durable() {
+		persistEnabled = 1
+	}
+	p.Gauge("nucleusd_persist_enabled", "1 when a durable store backs the registry.", persistEnabled)
+	p.Counter("nucleusd_persist_snapshots_total", "Graph snapshots written.", float64(s.snapSaves.Load()))
+	p.Counter("nucleusd_persist_wal_appends_total", "WAL frames appended.", float64(s.walAppends.Load()))
+	p.Counter("nucleusd_persist_wal_bytes_total", "WAL bytes appended.", float64(s.walBytes.Load()))
+	p.Counter("nucleusd_persist_replays_total", "Graphs recovered at startup.", float64(s.replays.Load()))
+	p.Counter("nucleusd_persist_replayed_batches_total", "Committed WAL batches re-applied at startup.", float64(s.replayedBatches.Load()))
+	p.Counter("nucleusd_persist_compactions_total", "WALs folded into fresh snapshots.", float64(s.compactions.Load()))
+	p.Counter("nucleusd_persist_errors_total", "Non-fatal persistence failures.", float64(s.persistErrors.Load()))
+
+	// Replication series (docs/REPLICATION.md). The role is exported
+	// info-style: one labeled gauge set to 1 for the active role, so a
+	// promotion is visible as a label flip.
+	ns := s.nodeStatus()
+	for _, role := range []string{replica.RoleStandalone, replica.RolePrimary, replica.RoleReplica} {
+		v := 0.0
+		if ns.Role == role {
+			v = 1
+		}
+		p.LabeledGauge("nucleusd_replication_role", "1 for the node's active replication role.",
+			map[string]string{"role": role}, v)
+	}
+	p.Gauge("nucleusd_replication_generation", "Cluster generation this node operates under.", float64(ns.Generation))
+	p.Gauge("nucleusd_replication_max_version", "Highest published graph version on this node.", float64(ns.MaxVersion))
+	p.Gauge("nucleusd_replication_lag_versions", "Committed versions the replica has not yet applied.", float64(ns.LagVersions))
+	p.Gauge("nucleusd_replication_lag_ms", "How long the replica has continuously been behind.", ns.LagMs)
+	p.Counter("nucleusd_replication_pulls_total", "Pull cycles completed.", float64(ns.Pulls))
+	p.Counter("nucleusd_replication_pull_errors_total", "Pull cycles that ended in an error.", float64(ns.PullErrors))
+	p.Counter("nucleusd_replication_stale_pulls_total", "Pulls rejected because the source's generation was stale.", float64(ns.StalePulls))
+	p.Counter("nucleusd_replication_bytes_pulled_total", "WAL and snapshot bytes shipped to this replica.", float64(ns.BytesPulled))
+	p.Counter("nucleusd_replication_snapshots_installed_total", "Full snapshot resyncs applied.", float64(ns.SnapshotsInstalled))
+	p.Counter("nucleusd_replication_batches_applied_total", "Replicated batches applied.", float64(ns.BatchesApplied))
+	p.Counter("nucleusd_replication_duplicates_skipped_total", "Replicated batches skipped as duplicates.", float64(ns.DuplicatesSkipped))
+	p.Counter("nucleusd_replication_fenced_writes_total", "Writes rejected by the generation fence.", float64(s.fencedWrites.Load()))
+	p.Counter("nucleusd_replication_promotions_total", "Replica-to-primary promotions performed.", float64(s.promotions.Load()))
+
+	w.Header().Set("Content-Type", promtext.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(p.Bytes())
+}

@@ -76,6 +76,9 @@ type mutateResponse struct {
 }
 
 func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
+	if !s.admitWrite(w, r) {
+		return
+	}
 	name := r.PathValue("name")
 	var req mutateRequest
 	if !decodeJSON(w, r, &req) {

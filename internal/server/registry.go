@@ -254,6 +254,45 @@ func (r *registry) bumpVersion(v uint64) {
 	}
 }
 
+// installReplicated installs e at exactly version — the version the
+// primary acknowledged for this state — unless the live entry has
+// already reached it (a duplicate shipment). Unlike put/replaceIf it
+// never assigns a fresh version: replication's contract is that a
+// promoted replica serves the identical version history. The version
+// counter is raised so versions minted after a promotion stay above
+// every replicated one (CAS loop: the puller runs concurrently with
+// request traffic, unlike recovery's bumpVersion).
+func (r *registry) installReplicated(e *graphEntry, version uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur, ok := r.graphs[e.name]; ok && cur.version >= version {
+		return false
+	}
+	e.version = version
+	r.graphs[e.name] = e
+	for {
+		cur := r.nextVer.Load()
+		if cur >= version || r.nextVer.CompareAndSwap(cur, version) {
+			return true
+		}
+	}
+}
+
+// maxVersion returns the highest published version across all graphs
+// (0 when empty): the node's replication fitness score — the router
+// promotes the replica with the largest one.
+func (r *registry) maxVersion() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var mv uint64
+	for _, e := range r.graphs {
+		if e.version > mv {
+			mv = e.version
+		}
+	}
+	return mv
+}
+
 // deleteIf removes name only while its live entry is still exactly ver:
 // the upload path uses it to roll back a registration whose snapshot
 // could not be persisted, without clobbering a concurrent re-upload.

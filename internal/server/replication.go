@@ -1,0 +1,620 @@
+package server
+
+import (
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"nucleus/internal/dynamic"
+	"nucleus/internal/replica"
+	"nucleus/internal/sched"
+	"nucleus/internal/store"
+)
+
+// ---------------------------------------------------------------------------
+// WAL-shipping replication (docs/REPLICATION.md).
+//
+// A nucleusd node plays one of three roles. A *standalone* node is the
+// historical single-node deployment. A *primary* absorbs every write
+// and exposes its persisted images — snapshot files and WAL byte ranges
+// — on the /replication endpoints for replicas to pull. A *replica* is
+// read-only for clients: a background puller (internal/replica) tails
+// the primary's manifest and WALs and applies each committed batch
+// through the same WAL-then-publish path the primary's mutation handler
+// uses, at EXACTLY the version the primary acknowledged, so a promoted
+// replica serves the identical version history with warm κ state and
+// its own durable snapshot+WAL (it can in turn be replicated from).
+//
+// Failover safety is generation fencing: every node carries a cluster
+// generation, every /replication response and every router-proxied
+// write is stamped with one, and a mismatch is rejected — a write
+// stamped with the old generation at a deposed primary answers 409
+// (fencedWrites), and a replica refuses to pull from a source whose
+// generation is below its own (stalePulls). Promotion bumps the
+// generation, which is what retires the old primary's authority.
+
+// ReplicationConfig configures a node's role in a replicated
+// deployment. The zero value is a standalone node.
+type ReplicationConfig struct {
+	// Role is replica.RoleStandalone (default), RolePrimary or
+	// RoleReplica. Any other value is treated as standalone.
+	Role string
+	// Primary is the base URL a replica pulls from (e.g.
+	// "http://10.0.0.1:7171"). Required when Role is RoleReplica.
+	Primary string
+	// Generation is the node's starting cluster generation. Replicas
+	// adopt newer generations advertised by their source; promotion sets
+	// a higher one explicitly.
+	Generation uint64
+	// PullInterval is the replica's background pull cadence. 0 defaults
+	// to 1s; negative disables the background loop entirely — pulls then
+	// happen only via POST /replication/pull, which is what the
+	// deterministic cluster tests use.
+	PullInterval time.Duration
+	// Clock measures replication lag; nil means the wall clock (tests
+	// inject sched.NewFakeClock).
+	Clock sched.Clock
+	// Client performs the replica's HTTP pulls; nil means
+	// http.DefaultClient.
+	Client *http.Client
+}
+
+// normalizedRole maps a configured role string onto the three valid
+// roles, defaulting junk to standalone.
+func normalizedRole(role string) string {
+	switch role {
+	case replica.RolePrimary, replica.RoleReplica:
+		return role
+	}
+	return replica.RoleStandalone
+}
+
+// startReplication wires the node's role, generation and (for replicas)
+// the background puller. Called from New after recovery, before the
+// routes exist.
+func (s *Server) startReplication() {
+	rc := s.cfg.Replication
+	s.generation.Store(rc.Generation)
+	s.replRole = normalizedRole(rc.Role)
+	if s.replRole != replica.RoleReplica || rc.Primary == "" {
+		return
+	}
+	s.puller = replica.NewPuller(replica.Config{
+		Primary:         rc.Primary,
+		Applier:         replApplier{s},
+		Generation:      s.generation.Load,
+		AdoptGeneration: s.raiseGeneration,
+		Clock:           rc.Clock,
+		Client:          rc.Client,
+		Interval:        rc.PullInterval,
+	})
+	if rc.PullInterval >= 0 {
+		s.pullerRunning = true
+		go s.puller.Run()
+	}
+}
+
+// stopReplication shuts the puller down idempotently (Close may run
+// twice, and promotion also detaches it).
+func (s *Server) stopReplication() {
+	s.replMu.Lock()
+	p, running := s.puller, s.pullerRunning
+	s.puller, s.pullerRunning = nil, false
+	s.replMu.Unlock()
+	if p == nil {
+		return
+	}
+	if running {
+		p.Stop()
+	} else {
+		p.StopNoWait()
+	}
+}
+
+// raiseGeneration lifts the node's generation to at least g (never
+// lowers it — a concurrent promotion must win over a pull adopting the
+// old source's generation).
+func (s *Server) raiseGeneration(g uint64) {
+	for {
+		cur := s.generation.Load()
+		if cur >= g || s.generation.CompareAndSwap(cur, g) {
+			return
+		}
+	}
+}
+
+// role returns the node's current replication role.
+func (s *Server) role() string {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.replRole
+}
+
+// admitWrite gates a mutating endpoint behind the replication role and
+// the generation fence, writing the refusal itself. Replicas are
+// read-only for clients (writes belong on the primary; the router
+// enforces that, this is the backstop). A write stamped with a
+// generation — the router stamps every proxied one — is admitted only
+// when the stamp matches the node's: a deposed primary still serving
+// its old generation rejects the new epoch's writes, and late writes
+// proxied under the old generation bounce off everyone.
+func (s *Server) admitWrite(w http.ResponseWriter, r *http.Request) bool {
+	s.replMu.Lock()
+	role := s.replRole
+	var primary string
+	if s.puller != nil {
+		primary = s.puller.Primary()
+	}
+	s.replMu.Unlock()
+	if role == replica.RoleReplica {
+		writeError(w, http.StatusForbidden,
+			"node is a read-only replica (primary: %s); send writes to the primary", orDefault(primary, "unknown"))
+		return false
+	}
+	if stamp := r.Header.Get(replica.GenerationHeader); stamp != "" {
+		g, err := strconv.ParseUint(stamp, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid %s header %q: %v", replica.GenerationHeader, stamp, err)
+			return false
+		}
+		if cur := s.generation.Load(); g != cur {
+			s.fencedWrites.Add(1)
+			writeError(w, http.StatusConflict,
+				"write fenced: stamped generation %d does not match node generation %d", g, cur)
+			return false
+		}
+	}
+	return true
+}
+
+// nodeStatus assembles the GET /replication/status document.
+func (s *Server) nodeStatus() replica.NodeStatus {
+	s.replMu.Lock()
+	role := s.replRole
+	p := s.puller
+	s.replMu.Unlock()
+	st := replica.NodeStatus{
+		Role:       role,
+		Generation: s.generation.Load(),
+		MaxVersion: s.reg.maxVersion(),
+		Graphs:     s.reg.count(),
+	}
+	if p != nil {
+		ps := p.Status()
+		st.Primary = ps.Primary
+		st.LagVersions = ps.LagVersions
+		st.LagMs = ps.LagMs
+		st.Pulls = ps.Pulls
+		st.PullErrors = ps.Errors
+		st.StalePulls = ps.StalePulls
+		st.BytesPulled = ps.BytesPulled
+		st.SnapshotsInstalled = ps.SnapshotsInstalled
+		st.BatchesApplied = ps.BatchesApplied
+		st.DuplicatesSkipped = ps.DuplicatesSkipped
+		st.LastError = ps.LastError
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Replication HTTP handlers.
+
+// replicationSource resolves the store's raw-image capability, writing
+// the refusal when the backend cannot ship state (the null store).
+func (s *Server) replicationSource(w http.ResponseWriter) (store.ReplicationSource, bool) {
+	src, ok := s.store.(store.ReplicationSource)
+	if !ok {
+		writeError(w, http.StatusNotImplemented,
+			"replication requires a durable store (run nucleusd with -data-dir)")
+		return nil, false
+	}
+	return src, true
+}
+
+func (s *Server) stampGeneration(w http.ResponseWriter) {
+	w.Header().Set(replica.GenerationHeader, strconv.FormatUint(s.generation.Load(), 10))
+}
+
+func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	s.stampGeneration(w)
+	writeJSON(w, http.StatusOK, s.nodeStatus())
+}
+
+func (s *Server) handleReplManifest(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.replicationSource(w); !ok {
+		return
+	}
+	man := replica.Manifest{
+		Generation: s.generation.Load(),
+		Role:       s.role(),
+		Graphs:     []replica.ManifestGraph{},
+	}
+	for _, e := range s.reg.list() {
+		man.Graphs = append(man.Graphs, replica.ManifestGraph{
+			Name:     e.name,
+			Version:  e.version,
+			WALBytes: s.store.WALSize(e.name),
+		})
+	}
+	s.stampGeneration(w)
+	writeJSON(w, http.StatusOK, man)
+}
+
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.replicationSource(w)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	img, err := src.SnapshotImage(name)
+	if err == store.ErrNotFound {
+		writeError(w, http.StatusNotFound, "no persisted snapshot for graph %q", name)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading snapshot of %q: %v", name, err)
+		return
+	}
+	s.stampGeneration(w)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(img)
+}
+
+func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.replicationSource(w)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	offset, err := queryInt64(r, "offset", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit, err := queryInt64(r, "limit", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if offset < 0 {
+		writeError(w, http.StatusBadRequest, "offset must be non-negative, got %d", offset)
+		return
+	}
+	chunk, size, err := src.WALImage(name, offset, limit)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading WAL of %q: %v", name, err)
+		return
+	}
+	s.stampGeneration(w)
+	w.Header().Set(replica.WALSizeHeader, strconv.FormatInt(size, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(chunk)
+}
+
+// promoteRequest is the JSON body of POST /replication/promote: the new
+// cluster generation this node leads under. It must exceed the node's
+// current generation — that strict increase is the fence that retires
+// the deposed primary.
+type promoteRequest struct {
+	Generation uint64 `json:"generation"`
+}
+
+func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
+	var req promoteRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	s.replMu.Lock()
+	switch {
+	case s.replRole == replica.RolePrimary && req.Generation <= s.generation.Load():
+		// Idempotent re-promotion (a router retry): already leading at or
+		// past this generation.
+		s.replMu.Unlock()
+		s.stampGeneration(w)
+		writeJSON(w, http.StatusOK, s.nodeStatus())
+		return
+	case s.replRole == replica.RoleStandalone:
+		s.replMu.Unlock()
+		writeError(w, http.StatusConflict, "standalone node cannot be promoted (start nucleusd with -role)")
+		return
+	case req.Generation <= s.generation.Load():
+		cur := s.generation.Load()
+		s.replMu.Unlock()
+		writeError(w, http.StatusBadRequest,
+			"promotion generation %d must exceed the current generation %d", req.Generation, cur)
+		return
+	}
+	s.replRole = replica.RolePrimary
+	p, running := s.puller, s.pullerRunning
+	s.puller, s.pullerRunning = nil, false
+	s.replMu.Unlock()
+	// The generation bump is what fences the old primary; raise it before
+	// acknowledging so no post-200 write can be admitted under the old
+	// epoch.
+	s.raiseGeneration(req.Generation)
+	s.promotions.Add(1)
+	if p != nil {
+		// Detach the puller so no late pull from the deposed primary can
+		// apply state after this node started accepting writes.
+		if running {
+			p.Stop()
+		} else {
+			p.StopNoWait()
+		}
+	}
+	log.Printf("nucleusd: promoted to primary at generation %d", req.Generation)
+	s.stampGeneration(w)
+	writeJSON(w, http.StatusOK, s.nodeStatus())
+}
+
+// repointRequest is the JSON body of POST /replication/repoint: the new
+// primary a surviving replica should pull from, and (optionally) the
+// new cluster generation to adopt immediately rather than on first
+// pull.
+type repointRequest struct {
+	Primary    string `json:"primary"`
+	Generation uint64 `json:"generation"`
+}
+
+func (s *Server) handleReplRepoint(w http.ResponseWriter, r *http.Request) {
+	var req repointRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Primary == "" {
+		writeError(w, http.StatusBadRequest, "primary must be non-empty")
+		return
+	}
+	s.replMu.Lock()
+	p := s.puller
+	role := s.replRole
+	s.replMu.Unlock()
+	if role != replica.RoleReplica || p == nil {
+		writeError(w, http.StatusConflict, "only a replica can be repointed (role: %s)", role)
+		return
+	}
+	p.SetPrimary(req.Primary)
+	if req.Generation > 0 {
+		s.raiseGeneration(req.Generation)
+	}
+	log.Printf("nucleusd: repointed replication at %s (generation %d)", req.Primary, s.generation.Load())
+	s.stampGeneration(w)
+	writeJSON(w, http.StatusOK, s.nodeStatus())
+}
+
+// handleReplPull runs one synchronous pull cycle. Operationally it
+// forces an immediate catch-up (e.g. right before a planned promotion);
+// the deterministic cluster tests use it as their only pull driver,
+// with PullInterval < 0 disabling the background loop.
+func (s *Server) handleReplPull(w http.ResponseWriter, r *http.Request) {
+	s.replMu.Lock()
+	p := s.puller
+	role := s.replRole
+	s.replMu.Unlock()
+	if role != replica.RoleReplica || p == nil {
+		writeError(w, http.StatusConflict, "only a replica pulls (role: %s)", role)
+		return
+	}
+	err := p.PullOnce(r.Context())
+	s.stampGeneration(w)
+	status := http.StatusOK
+	if err != nil {
+		// The error detail is in the status document's lastError; 502
+		// distinguishes "pull failed" from "pull clean" for scripts.
+		status = http.StatusBadGateway
+	}
+	writeJSON(w, status, s.nodeStatus())
+}
+
+func queryInt64(r *http.Request, name string, def int64) (int64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, &strconv.NumError{Func: "ParseInt", Num: s, Err: err}
+	}
+	return v, nil
+}
+
+// ---------------------------------------------------------------------------
+// The applier: how shipped state enters the serving layer.
+
+// replApplier implements replica.Applier over the server's registry,
+// store and cache. Every method takes the same per-name mutation lock
+// the primary's handlers take, so replication application serializes
+// with compaction and (after a promotion) with client writes exactly
+// the way local mutations do.
+type replApplier struct {
+	s *Server
+}
+
+func (a replApplier) GraphVersion(name string) (uint64, bool) {
+	e, ok := a.s.reg.get(name)
+	if !ok {
+		return 0, false
+	}
+	return e.version, true
+}
+
+func (a replApplier) GraphNames() []string {
+	entries := a.s.reg.list()
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.name
+	}
+	return names
+}
+
+// InstallSnapshot publishes a shipped snapshot at exactly its
+// Meta.Version, persists it locally (a replica must itself be
+// crash-recoverable and promotable), and warm-seeds the core cache from
+// the shipped κ so the first read decomposes warm, not cold.
+func (a replApplier) InstallSnapshot(name string, snap *store.Snapshot) error {
+	s := a.s
+	lock := s.reg.mutationLock(name)
+	lock.Lock()
+	e := rebuildEntry(name, snap, nil)
+	if !s.reg.installReplicated(e, snap.Meta.Version) {
+		lock.Unlock()
+		return nil // a duplicate shipment; the local state already covers it
+	}
+	if err := s.persistSnapshot(e); err != nil {
+		// Keep serving the shipped state from memory; durability is
+		// degraded, loudly, like a failed WAL commit on the primary.
+		s.persistErrors.Add(1)
+		log.Printf("nucleusd: persisting replicated snapshot of %q: %v", name, err)
+	}
+	lock.Unlock()
+	// Warm seeding is graph-sized reconvergence; like the mutation path
+	// it must not hold the lock. The seed carries e.version and survives
+	// the purge of the displaced version's entries.
+	if e.coreKappa != nil {
+		s.warmRecoverCore(e)
+	}
+	s.cache.purgeGraph(name, e.version)
+	return nil
+}
+
+// ApplyBatch re-applies one committed batch through the primary's exact
+// pipeline — WAL batch frame, overlay repair, copy-on-write publish,
+// WAL commit frame — but at the shipped version instead of a freshly
+// minted one. Idempotence is by version: a batch at or below the local
+// version reports applied=false without touching anything.
+func (a replApplier) ApplyBatch(name string, batch *store.Batch, version uint64) (bool, error) {
+	s := a.s
+	lock := s.reg.mutationLock(name)
+	lock.Lock()
+	e, ok := s.reg.get(name)
+	if !ok {
+		// The puller snapshots before tailing, so this is a deleted-graph
+		// race; the next pull cycle re-resolves it.
+		lock.Unlock()
+		return false, errReplUnknownGraph(name)
+	}
+	if e.version >= version {
+		lock.Unlock()
+		return false, nil
+	}
+	needN := batchNeedN(e.g.N(), batch)
+	if needN > maxGenVertices {
+		lock.Unlock()
+		return false, errReplOversize(name, needN)
+	}
+	// Durability first, exactly as on the primary: the batch must be in
+	// the local WAL before it mutates anything, so a promoted replica
+	// survives its own crash with every acknowledged batch.
+	if n, err := s.store.BeginBatch(name, batch); err != nil {
+		s.persistErrors.Add(1)
+		lock.Unlock()
+		return false, err
+	} else if n > 0 {
+		s.walAppends.Add(1)
+		s.walBytes.Add(int64(n))
+	}
+	dyn := e.dyn
+	if dyn == nil {
+		// Same overlay seeding ladder as the mutation handler: maintained
+		// κ, then a cached exact decomposition, then a cold peel.
+		switch {
+		case e.coreKappa != nil:
+			dyn = dynamic.FromStaticCores(e.g, e.coreKappa)
+		default:
+			if seed := s.exactCoreKappa(e); seed != nil {
+				dyn = dynamic.FromStaticCores(e.g, seed)
+			} else {
+				dyn = dynamic.FromStatic(e.g)
+			}
+		}
+	}
+	added, removed, ignored := applyBatch(dyn, batch, int(needN))
+	// Publish unconditionally — even if every edit was a no-op here, the
+	// primary committed this batch at this version and the version
+	// sequence is the replication contract.
+	kappa := append([]int32(nil), dyn.CoreNumbers()...)
+	ne := &graphEntry{
+		name:      name,
+		g:         dyn.Static(),
+		source:    e.source,
+		created:   e.created,
+		dyn:       dyn,
+		coreKappa: kappa,
+		mutations: e.mutations + 1,
+	}
+	if !s.reg.installReplicated(ne, version) {
+		lock.Unlock()
+		return false, nil
+	}
+	if n, err := s.store.CommitBatch(name, version); err != nil {
+		s.persistErrors.Add(1)
+		log.Printf("nucleusd: WAL commit for replicated batch of %q version %d failed (applied in memory, may be lost on restart): %v", name, version, err)
+	} else if n > 0 {
+		s.walAppends.Add(1)
+		s.walBytes.Add(int64(n))
+	}
+	s.mutBatches.Add(1)
+	s.mutApplied.Add(int64(added + removed))
+	s.mutIgnored.Add(int64(ignored))
+	lock.Unlock()
+	// Outside the lock, like the mutation handler: warm-seed the new
+	// version's cache from the old one's converged results, then purge
+	// the stale entries (the seeds carry the new version and survive).
+	// Unlike the primary's "demonstrated interest" policy, a replica
+	// seeds core unconditionally — reads land here while writes land on
+	// the primary, so the first read must not pay a cold run. The
+	// overlay's maintained κ makes that a single certification sweep.
+	coreSeeded := false
+	for _, d := range s.warmSeed(e, ne, added) {
+		if d == "core" {
+			coreSeeded = true
+		}
+	}
+	if !coreSeeded {
+		s.warmRecoverCore(ne)
+	}
+	s.cache.purgeGraph(name, version)
+	s.maybeCompact(name)
+	return true, nil
+}
+
+// DropGraph removes a graph the primary no longer has, mirroring the
+// DELETE handler.
+func (a replApplier) DropGraph(name string) error {
+	s := a.s
+	if _, ok := s.reg.get(name); !ok {
+		return nil
+	}
+	lock := s.reg.mutationLock(name)
+	lock.Lock()
+	e, ok := s.reg.delete(name)
+	var storeErr error
+	if ok {
+		storeErr = s.store.Delete(name)
+	}
+	lock.Unlock()
+	if ok {
+		s.cache.purgeGraph(name, e.version+1)
+	}
+	if storeErr != nil {
+		s.persistErrors.Add(1)
+	}
+	return storeErr
+}
+
+// errReplUnknownGraph / errReplOversize keep the applier's error paths
+// allocation-free in the common case and the messages consistent.
+type replApplyError struct{ msg string }
+
+func (e replApplyError) Error() string { return e.msg }
+
+func errReplUnknownGraph(name string) error {
+	return replApplyError{"replicated batch for unknown graph " + strconv.Quote(name)}
+}
+
+func errReplOversize(name string, needN int64) error {
+	return replApplyError{"replicated batch would grow graph " + strconv.Quote(name) +
+		" to " + strconv.FormatInt(needN, 10) + " vertices, exceeding the limit of " +
+		strconv.Itoa(maxGenVertices)}
+}

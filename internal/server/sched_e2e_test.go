@@ -209,10 +209,10 @@ func TestSchedulerOverloadE2E(t *testing.T) {
 	}
 	perTenant := st.Scheduler.PerTenant
 	for tenant, want := range map[string]tenantStatsView{
-		"default": {Admitted: 1},
-		"t1":      {Admitted: 1, Shed: 2},
-		"t2":      {Admitted: 1, Shed: 2, Degraded: 1},
-		"t3":      {Shed: 2},
+		"default": {Admitted: 1, Weight: 1},
+		"t1":      {Admitted: 1, Shed: 2, Weight: 1},
+		"t2":      {Admitted: 1, Shed: 2, Degraded: 1, Weight: 1},
+		"t3":      {Shed: 2, Weight: 1},
 	} {
 		got, ok := perTenant[tenant]
 		if !ok {

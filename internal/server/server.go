@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nucleus/internal/replica"
 	"nucleus/internal/store"
 )
 
@@ -108,6 +109,15 @@ type Config struct {
 	// replay time after a crash. 0 defaults to 4 MiB; negative disables
 	// compaction (the WAL then grows until the next upload or snapshot).
 	WALCompactBytes int64
+	// TenantWeights gives named tenants a deficit-round-robin weight
+	// above the default 1: a weight-K tenant's queue earns K quanta per
+	// scheduling round, so under contention it drains K× the work of an
+	// unweighted one (see internal/sched). Weights below 2 are ignored.
+	TenantWeights map[string]int
+	// Replication configures the node's role in a replicated deployment
+	// (primary / replica / standalone) and, for replicas, the pull
+	// source. See docs/REPLICATION.md. The zero value is standalone.
+	Replication ReplicationConfig
 	// ProgressEvery samples the anytime progress publisher: running
 	// snd/and decompositions publish a copy-on-write τ snapshot (plus
 	// convergence metrics) every k-th sweep, feeding GET
@@ -238,6 +248,17 @@ type Server struct {
 	compactCh     chan string
 	compactClosed bool
 	compactWG     sync.WaitGroup
+
+	// Replication state (see replication.go). replMu guards the role and
+	// the puller handle — both change at promotion; generation is atomic
+	// because the write-fencing check reads it on every mutating request.
+	replMu        sync.Mutex
+	replRole      string
+	puller        *replica.Puller
+	pullerRunning bool
+	generation    atomic.Uint64
+	fencedWrites  atomic.Int64 // writes rejected by the generation fence
+	promotions    atomic.Int64 // replica→primary transitions on this node
 }
 
 // New constructs a Server and starts its worker pool.
@@ -259,6 +280,9 @@ func New(cfg Config) *Server {
 		s.recoverFromStore()
 		s.startCompactor()
 	}
+	// Role, generation and (for replicas) the background puller — after
+	// recovery so a restarted replica resumes from its local state.
+	s.startReplication()
 	s.mux = s.routes()
 	return s
 }
@@ -274,6 +298,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // drained first so no snapshot write races process exit; the Store itself
 // stays open (the caller owns it).
 func (s *Server) Close() {
+	s.stopReplication()
 	s.stopCompactor()
 	s.jobs.close()
 }
@@ -287,6 +312,18 @@ func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	// Replication (docs/REPLICATION.md). Always registered: a standalone
+	// node answers /replication/status too, and the shipping endpoints
+	// refuse cleanly (501) without a durable store.
+	mux.HandleFunc("GET /replication/status", s.handleReplStatus)
+	mux.HandleFunc("GET /replication/manifest", s.handleReplManifest)
+	mux.HandleFunc("GET /replication/snapshot/{name}", s.handleReplSnapshot)
+	mux.HandleFunc("GET /replication/wal/{name}", s.handleReplWAL)
+	mux.HandleFunc("POST /replication/promote", s.handleReplPromote)
+	mux.HandleFunc("POST /replication/repoint", s.handleReplRepoint)
+	mux.HandleFunc("POST /replication/pull", s.handleReplPull)
 
 	mux.HandleFunc("GET /graphs", s.handleListGraphs)
 	mux.HandleFunc("POST /graphs/{name}", s.handleUploadGraph)

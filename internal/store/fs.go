@@ -226,6 +226,56 @@ func (s *FS) LoadThreads(name string, threads int) (*Snapshot, []CommittedBatch,
 	return snap, batches, nil
 }
 
+// SnapshotImage implements ReplicationSource: the raw on-disk snapshot
+// file, already framed and checksummed by the codec, served byte-for-byte
+// to a pulling replica.
+func (s *FS) SnapshotImage(name string) ([]byte, error) {
+	g := s.byName(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	data, err := os.ReadFile(filepath.Join(g.dir, snapshotFile))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	return data, err
+}
+
+// WALImage implements ReplicationSource: up to limit bytes of the WAL
+// starting at offset, plus the log's current total size so the replica
+// knows whether more bytes remain (and detects a compaction reset when
+// the size falls below its offset). Reads hold the same per-graph lock
+// as appends, so a chunk never ends inside a partially written frame.
+func (s *FS) WALImage(name string, offset, limit int64) ([]byte, int64, error) {
+	g := s.byName(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	size := g.walSize.Load()
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= size {
+		return nil, size, nil
+	}
+	data, err := os.ReadFile(filepath.Join(g.dir, walFile))
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, size, err
+	}
+	// The cached size is authoritative for replication: bytes past it
+	// (a torn tail from a crashed predecessor, not yet truncated by
+	// Load) must not ship.
+	if int64(len(data)) > size {
+		data = data[:size]
+	}
+	end := int64(len(data))
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
+	return data[offset:end], size, nil
+}
+
 // List implements Store.
 func (s *FS) List() ([]string, error) {
 	entries, err := os.ReadDir(filepath.Join(s.root, "graphs"))

@@ -121,6 +121,18 @@ type Store interface {
 	Close() error
 }
 
+// ReplicationSource is an optional capability a durable Store may
+// implement: raw byte-range access to the persisted images, used by the
+// replication endpoints to ship a graph's state to pulling replicas
+// without re-encoding. SnapshotImage returns the complete snapshot file
+// (decodable with DecodeSnapshot); WALImage returns up to limit bytes of
+// the WAL from offset (limit <= 0 means no bound) plus the log's total
+// size. The serving layer type-asserts for it like ThreadedLoader.
+type ReplicationSource interface {
+	SnapshotImage(name string) ([]byte, error)
+	WALImage(name string, offset, limit int64) ([]byte, int64, error)
+}
+
 // ThreadedLoader is an optional capability a Store may implement: Load
 // with the CPU-bound part of snapshot decoding (CSR construction) fanned
 // across threads. The result is bit-identical to Load at every thread

@@ -1,0 +1,163 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// WALScanner is the incremental form of the WAL replay decoder: frames
+// arrive in arbitrary chunks (a replica pulling byte ranges of the
+// primary's log over HTTP) instead of as one complete file image.
+// Feed appends received bytes; Next yields each committed batch as soon
+// as its batch+commit frame pair is complete, and (nil, nil) when the
+// buffered bytes end mid-frame — the replication analogue of a torn
+// tail, resolved by feeding more bytes rather than truncating.
+//
+// Unlike file replay, a frame that is fully present but fails its
+// checksum is NOT a tolerable crash artifact here: the primary serves
+// WAL reads under the append lock, so a corrupt frame means the bytes
+// were damaged in flight or the offsets have diverged. Next reports it
+// as ErrCorruptFrame (sticky), and the caller recovers by full snapshot
+// resync, never by applying a guess.
+//
+// A scanner always starts at byte 0 of a WAL file and therefore demands
+// the mandatory header frame first; Generation exposes the header's
+// snapshot generation once seen so the consumer can check it against
+// the base snapshot it holds.
+type WALScanner struct {
+	buf     []byte
+	gen     uint64
+	hasGen  bool
+	pending *Batch
+	corrupt bool
+}
+
+// ErrCorruptFrame reports a complete frame that failed validation
+// (checksum, framing, or payload shape) in a replication stream.
+var ErrCorruptFrame = errors.New("store: corrupt WAL frame in replication stream")
+
+// maxWALFramePayload bounds a single frame's claimed payload length. A
+// length prefix beyond it is treated as corruption immediately instead
+// of waiting forever for bytes that will never arrive.
+const maxWALFramePayload = 64 << 20
+
+// NewWALScanner returns a scanner positioned at byte 0 of a WAL file.
+func NewWALScanner() *WALScanner {
+	return &WALScanner{}
+}
+
+// Feed appends received WAL bytes to the scan buffer.
+func (sc *WALScanner) Feed(p []byte) {
+	sc.buf = append(sc.buf, p...)
+}
+
+// Generation returns the stream's header generation — the Meta.Version
+// of the snapshot this log extends — once the header frame has been
+// scanned.
+func (sc *WALScanner) Generation() (uint64, bool) {
+	return sc.gen, sc.hasGen
+}
+
+// Next returns the next committed batch, (nil, nil) when more bytes are
+// needed, or ErrCorruptFrame. The error is sticky: a corrupt stream
+// cannot be resumed by feeding more bytes.
+func (sc *WALScanner) Next() (*CommittedBatch, error) {
+	for {
+		if sc.corrupt {
+			return nil, ErrCorruptFrame
+		}
+		frame, st := scanOneFrame(sc.buf)
+		switch st {
+		case frameShort:
+			return nil, nil
+		case frameCorrupt:
+			sc.corrupt = true
+			return nil, ErrCorruptFrame
+		}
+		switch frame.typ {
+		case frameHeader:
+			// Exactly one header, and it must come first.
+			if sc.hasGen {
+				sc.corrupt = true
+				return nil, ErrCorruptFrame
+			}
+			gen, err := decodeUvarintPayload(frame.payload)
+			if err != nil {
+				sc.corrupt = true
+				return nil, ErrCorruptFrame
+			}
+			sc.gen, sc.hasGen = gen, true
+		case frameBatch:
+			if !sc.hasGen {
+				sc.corrupt = true
+				return nil, ErrCorruptFrame
+			}
+			batch, err := decodeBatchPayload(frame.payload)
+			if err != nil {
+				sc.corrupt = true
+				return nil, ErrCorruptFrame
+			}
+			// A previous pending batch with no commit was aborted on the
+			// primary; overwrite it, as file replay does.
+			sc.pending = batch
+		case frameCommit:
+			if !sc.hasGen || sc.pending == nil {
+				sc.corrupt = true
+				return nil, ErrCorruptFrame
+			}
+			version, err := decodeUvarintPayload(frame.payload)
+			if err != nil {
+				sc.corrupt = true
+				return nil, ErrCorruptFrame
+			}
+			b := sc.pending
+			sc.pending = nil
+			sc.buf = sc.buf[frame.end:]
+			return &CommittedBatch{Batch: *b, Version: version}, nil
+		default:
+			sc.corrupt = true
+			return nil, ErrCorruptFrame
+		}
+		sc.buf = sc.buf[frame.end:]
+	}
+}
+
+type frameStatus int
+
+const (
+	frameOK frameStatus = iota
+	// frameShort: the buffer ends before the frame does — feed more.
+	frameShort
+	// frameCorrupt: a structurally complete frame failed validation.
+	frameCorrupt
+)
+
+// scanOneFrame inspects the frame starting at buf[0], distinguishing
+// "incomplete" (more bytes pending) from "corrupt" (complete but
+// invalid) — the distinction file replay does not need, because a file
+// image never grows.
+func scanOneFrame(buf []byte) (rawFrame, frameStatus) {
+	if len(buf) == 0 {
+		return rawFrame{}, frameShort
+	}
+	plen, n := binary.Uvarint(buf[1:])
+	if n == 0 {
+		return rawFrame{}, frameShort
+	}
+	if n < 0 || plen > maxWALFramePayload {
+		return rawFrame{}, frameCorrupt
+	}
+	payloadStart := 1 + n
+	payloadEnd := payloadStart + int(plen)
+	if payloadEnd+4 > len(buf) {
+		return rawFrame{}, frameShort
+	}
+	payload := buf[payloadStart:payloadEnd]
+	want := binary.LittleEndian.Uint32(buf[payloadEnd : payloadEnd+4])
+	got := crc32.Update(crc32.Checksum(buf[:1], castagnoli), castagnoli, payload)
+	if got != want {
+		return rawFrame{}, frameCorrupt
+	}
+	return rawFrame{typ: buf[0], payload: payload, end: payloadEnd + 4}, frameOK
+}
